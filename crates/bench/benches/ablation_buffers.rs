@@ -1,0 +1,73 @@
+//! Ablation — vUB/pUB sizing and the value of false-negative training.
+//!
+//! The paper fixes vUB = 4 and pUB = 128 entries "empirically selected
+//! after tuning" (Table III). This sweep regenerates that design decision:
+//! the chosen point should be on the knee — shrinking the pUB hurts,
+//! removing the vUB (no false-negative training) hurts, and growing both
+//! past the chosen sizes buys little.
+
+use moka_pgc::dripper::dripper_config;
+use moka_pgc::TargetPrefetcher;
+use pagecross_bench::{env_scale, fmt_pct, print_header, print_row, run_one, Scheme, Summary};
+use pagecross_cpu::{PgcPolicyKind, PrefetcherKind, SimulationBuilder};
+use pagecross_types::geomean;
+use pagecross_workloads::representative_seen;
+
+fn geo_with(vub: usize, pubn: usize, workloads: &[&'static pagecross_workloads::Workload]) -> f64 {
+    let cfg = env_scale();
+    let mut ratios = Vec::new();
+    for w in workloads {
+        let base = run_one(
+            w,
+            &Scheme::new("discard", PrefetcherKind::Berti, PgcPolicyKind::DiscardPgc),
+            &cfg,
+        )
+        .report
+        .ipc();
+        let (warm, measure) = w.default_lengths();
+        let mut fcfg = dripper_config(TargetPrefetcher::Berti);
+        fcfg.vub_entries = vub;
+        fcfg.pub_entries = pubn;
+        let r = SimulationBuilder::new()
+            .prefetcher(PrefetcherKind::Berti)
+            .custom_filter(fcfg)
+            .warmup((warm as f64 * cfg.warmup_scale) as u64)
+            .instructions((measure as f64 * cfg.measure_scale) as u64)
+            .run_workload(*w);
+        ratios.push(r.ipc() / base);
+    }
+    geomean(&ratios).unwrap_or(1.0)
+}
+
+fn main() {
+    let workloads = representative_seen(1);
+    print_header("ablation_buffers", &["vUB", "pUB", "geomean vs discard"]);
+    let sweep = [(1usize, 128usize), (4, 128), (16, 128), (4, 8), (4, 32), (4, 512)];
+    let mut results = Vec::new();
+    for (vub, pubn) in sweep {
+        let g = geo_with(vub, pubn, &workloads);
+        print_row(
+            "ablation_buffers",
+            &[vub.to_string(), pubn.to_string(), fmt_pct(g)],
+        );
+        results.push(((vub, pubn), g));
+    }
+    let chosen = results.iter().find(|(k, _)| *k == (4, 128)).expect("chosen point ran").1;
+    let tiny_pub = results.iter().find(|(k, _)| *k == (4, 8)).expect("tiny pUB ran").1;
+    let big = results.iter().find(|(k, _)| *k == (4, 512)).expect("big pUB ran").1;
+
+    Summary {
+        experiment: "ablation_buffers".into(),
+        paper: "vUB=4, pUB=128 'empirically selected after tuning' (Table III)".into(),
+        measured: format!(
+            "chosen {}, tiny pUB {}, 4x pUB {}",
+            fmt_pct(chosen),
+            fmt_pct(tiny_pub),
+            fmt_pct(big)
+        ),
+        // The chosen point is near the asymptote: growing the pUB 4x gains
+        // little.
+        shape_holds: (big - chosen).abs() < 0.02 && chosen >= tiny_pub - 0.01,
+    }
+    .print();
+}

@@ -1,0 +1,57 @@
+//! Fig. 2 — IPC gains of Berti/BOP/IPCP under "Permit PGC" over
+//! "Discard PGC" across memory-intensive workloads.
+//!
+//! Paper's shape: per-workload gains range from strongly negative
+//! (sphinx3-, pr.web-like) to strongly positive (astar-, cc.road-like);
+//! no static policy wins everywhere.
+
+use pagecross_bench::{
+    env_scale, fmt_pct, motivation_set, print_header, print_row, run_all, Scheme, Summary,
+};
+use pagecross_cpu::{PgcPolicyKind, PrefetcherKind};
+
+fn main() {
+    let cfg = env_scale();
+    let workloads = motivation_set();
+    print_header("fig02", &["workload", "berti", "bop", "ipcp"]);
+
+    let mut any_pos = 0;
+    let mut any_neg = 0;
+    for w in &workloads {
+        let mut cells = vec![w.name().to_string()];
+        for pf in [PrefetcherKind::Berti, PrefetcherKind::Bop, PrefetcherKind::Ipcp] {
+            let schemes = [
+                Scheme::new("discard", pf, PgcPolicyKind::DiscardPgc),
+                Scheme::new("permit", pf, PgcPolicyKind::PermitPgc),
+            ];
+            let rs = run_all(&[w], &schemes, &cfg);
+            let ratio = rs[1].report.ipc() / rs[0].report.ipc();
+            if pf == PrefetcherKind::Berti {
+                if ratio > 1.002 {
+                    any_pos += 1;
+                }
+                if ratio < 0.998 {
+                    any_neg += 1;
+                }
+            }
+            cells.push(fmt_pct(ratio));
+        }
+        print_row("fig02", &cells);
+    }
+
+    Summary {
+        experiment: "fig02".into(),
+        paper: "Permit PGC gains vary per workload: some strongly positive, some strongly \
+                negative; no static policy wins everywhere"
+            .into(),
+        measured: format!(
+            "{any_pos}/{} workloads gain and {any_neg}/{} lose under Permit (Berti)",
+            workloads.len(),
+            workloads.len()
+        ),
+        shape_holds: any_pos > 0 && any_neg > 0,
+    }
+    .print();
+}
+
+use pagecross_cpu::trace::TraceFactory;

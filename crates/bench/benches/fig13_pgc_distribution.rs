@@ -1,0 +1,71 @@
+//! Fig. 13 — distributions of useful and useless page-cross prefetches
+//! per kilo-instruction, Permit PGC vs DRIPPER (Berti).
+//!
+//! Paper's shape: the useful-PGC distributions of Permit and DRIPPER are
+//! nearly identical, while DRIPPER's useless-PGC distribution concentrates
+//! near zero and Permit's does not.
+
+use pagecross_bench::{
+    core_schemes, env_scale, print_header, print_row, quick_seen_set, run_all, Summary,
+};
+use pagecross_cpu::PrefetcherKind;
+
+fn main() {
+    let cfg = env_scale();
+    let workloads = quick_seen_set();
+    let schemes = core_schemes(PrefetcherKind::Berti);
+    let results = run_all(&workloads, &schemes, &cfg);
+
+    print_header(
+        "fig13",
+        &["workload", "useful/KI permit", "useful/KI dripper", "useless/KI permit", "useless/KI dripper"],
+    );
+    let (mut pu, mut du, mut pw, mut dw) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for chunk in results.chunks(3) {
+        let permit = &chunk[1].report;
+        let dripper = &chunk[2].report;
+        pu.push(permit.pgc_useful_pki());
+        du.push(dripper.pgc_useful_pki());
+        pw.push(permit.pgc_useless_pki());
+        dw.push(dripper.pgc_useless_pki());
+        print_row(
+            "fig13",
+            &[
+                chunk[0].workload.clone(),
+                format!("{:.3}", permit.pgc_useful_pki()),
+                format!("{:.3}", dripper.pgc_useful_pki()),
+                format!("{:.3}", permit.pgc_useless_pki()),
+                format!("{:.3}", dripper.pgc_useless_pki()),
+            ],
+        );
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    print_row(
+        "fig13",
+        &[
+            "MEAN".into(),
+            format!("{:.3}", mean(&pu)),
+            format!("{:.3}", mean(&du)),
+            format!("{:.3}", mean(&pw)),
+            format!("{:.3}", mean(&dw)),
+        ],
+    );
+
+    // Shape: DRIPPER keeps a meaningful share of the useful prefetches but
+    // cuts the useless ones by far more.
+    let useful_kept = if mean(&pu) > 0.0 { mean(&du) / mean(&pu) } else { 1.0 };
+    let useless_kept = if mean(&pw) > 0.0 { mean(&dw) / mean(&pw) } else { 0.0 };
+    Summary {
+        experiment: "fig13".into(),
+        paper: "DRIPPER has almost the same useful-PGC volume as Permit and far fewer \
+                useless PGC prefetches (concentrated near zero)"
+            .into(),
+        measured: format!(
+            "useful kept {:.0}%, useless kept {:.0}%",
+            useful_kept * 100.0,
+            useless_kept * 100.0
+        ),
+        shape_holds: useless_kept < useful_kept && useless_kept < 0.5,
+    }
+    .print();
+}

@@ -1,0 +1,50 @@
+//! Fig. 18 — DRIPPER on *unseen* workloads (§V-B8): workloads from seed
+//! spaces disjoint from the ones used during development.
+//!
+//! Paper's shape: trends match the seen set — DRIPPER beats Permit (+2.1%)
+//! and Discard (+1.2%) in geomean over 178 unseen workloads.
+
+use pagecross_bench::{
+    core_schemes, env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row,
+    run_all, Summary,
+};
+use pagecross_cpu::PrefetcherKind;
+use pagecross_workloads::representative_unseen;
+
+fn main() {
+    let cfg = env_scale();
+    let per_suite = std::env::var("PAGECROSS_PER_SUITE")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(4)
+        .clamp(1, 64);
+    let workloads = representative_unseen(per_suite);
+    let schemes = core_schemes(PrefetcherKind::Berti);
+    let results = run_all(&workloads, &schemes, &cfg);
+    let base = ipcs_of(&results, "discard-pgc");
+    let permit = ipcs_of(&results, "permit-pgc");
+    let dripper = ipcs_of(&results, "dripper");
+
+    print_header("fig18", &["workload", "permit", "dripper"]);
+    for (i, chunk) in results.chunks(3).enumerate() {
+        print_row(
+            "fig18",
+            &[
+                chunk[0].workload.clone(),
+                fmt_pct(permit[i] / base[i]),
+                fmt_pct(dripper[i] / base[i]),
+            ],
+        );
+    }
+    let gp = geomean_speedup(&permit, &base);
+    let gd = geomean_speedup(&dripper, &base);
+    print_row("fig18", &["GEOMEAN".into(), fmt_pct(gp), fmt_pct(gd)]);
+
+    Summary {
+        experiment: "fig18".into(),
+        paper: "on unseen workloads DRIPPER beats Permit (+2.1%) and Discard (+1.2%)".into(),
+        measured: format!("dripper {} vs permit {} over discard", fmt_pct(gd), fmt_pct(gp)),
+        shape_holds: gd > gp && gd >= 0.999,
+    }
+    .print();
+}

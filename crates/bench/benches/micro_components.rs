@@ -1,0 +1,154 @@
+//! Criterion microbenchmarks: raw throughput of the simulator's hot
+//! components — useful when porting or optimising the substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use moka_pgc::dripper::{dripper, TargetPrefetcher};
+use moka_pgc::{FeatureContext, PgcPolicy, ProgramFeature};
+use moka_pgc::perceptron::PerceptronBank;
+use pagecross_cpu::{PgcPolicyKind, PrefetcherKind, SimulationBuilder};
+use pagecross_mem::{Cache, CacheConfig, FillKind, MemConfig, MemorySystem};
+use pagecross_mem::vmem::HugePagePolicy;
+use pagecross_prefetch::{AccessInfo, Berti, L1dPrefetcher};
+use pagecross_types::{LineAddr, PrefetchCandidate, Rng64, SystemSnapshot, VirtAddr};
+use pagecross_workloads::{suite, SuiteId};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("access_fill_mix", |b| {
+        let mut cache = Cache::new(
+            "bench",
+            CacheConfig { size_bytes: 48 << 10, ways: 12, latency: 5, mshr_entries: 16 },
+        );
+        let mut rng = Rng64::new(1);
+        b.iter(|| {
+            for _ in 0..1024 {
+                let line = LineAddr(rng.below(1 << 16));
+                if !cache.demand_access(line, false).hit {
+                    cache.fill(line, FillKind::Demand, false);
+                }
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_tlb_ptw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb_ptw");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("demand_translate_cold_and_warm", |b| {
+        let mut mem = MemorySystem::new(MemConfig::table_iv(1), 1, HugePagePolicy::None, 5);
+        let mut rng = Rng64::new(2);
+        let mut cycle = 0u64;
+        b.iter(|| {
+            for _ in 0..256 {
+                // Bounded VA space: criterion runs many iterations and the
+                // frame allocator must not exhaust physical memory.
+                let va = VirtAddr::new(rng.below(1 << 27) & !63);
+                cycle += 50;
+                criterion::black_box(mem.demand_data(0, va, false, cycle));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_perceptron(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perceptron");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("predict_55_features", |b| {
+        let bank = PerceptronBank::new(&ProgramFeature::bouquet(), 1024, 5);
+        let ctx = FeatureContext { pc: 0x401000, va: 0x7000_1234, delta: 5, ..Default::default() };
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let mut c = ctx;
+                c.va = c.va.wrapping_add(i * 64);
+                criterion::black_box(bank.predict(&c));
+            }
+        });
+    });
+    g.bench_function("dripper_decide", |b| {
+        let mut policy = dripper(TargetPrefetcher::Berti);
+        let snap = SystemSnapshot::default();
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let trigger = VirtAddr::new(0x10_0000 + i * 4096 + 0xFC0);
+                let cand = PrefetchCandidate {
+                    pc: 0x400100,
+                    trigger,
+                    target: trigger.offset(64),
+                    delta: 1,
+                    first_page_access: false,
+                };
+                let ctx = FeatureContext {
+                    pc: cand.pc,
+                    va: trigger.raw(),
+                    target_va: cand.target.raw(),
+                    delta: 1,
+                    ..Default::default()
+                };
+                criterion::black_box(policy.decide(&cand, &ctx, &snap));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefetchers");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("berti_train_and_issue", |b| {
+        let mut pf = Berti::new(1);
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..1024 {
+                i += 1;
+                let va = VirtAddr::new(0x10_0000 + i * 64);
+                let info = AccessInfo {
+                    pc: 0x400,
+                    va,
+                    hit: !i.is_multiple_of(4),
+                    cycle: i * 10,
+                    first_page_access: false,
+                };
+                out.clear();
+                pf.on_access(&info, &mut out);
+                if !info.hit {
+                    pf.on_fill(va, i * 10 + 60);
+                }
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("berti_dripper_20k_instrs", |b| {
+        let w = &suite(SuiteId::Gap).workloads()[0];
+        b.iter(|| {
+            criterion::black_box(
+                SimulationBuilder::new()
+                    .prefetcher(PrefetcherKind::Berti)
+                    .pgc_policy(PgcPolicyKind::Dripper)
+                    .warmup(2_000)
+                    .instructions(20_000)
+                    .run_workload(w),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_tlb_ptw,
+    bench_perceptron,
+    bench_prefetchers,
+    bench_end_to_end
+);
+criterion_main!(benches);

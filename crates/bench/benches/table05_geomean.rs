@@ -1,0 +1,70 @@
+//! Table V — geomean speedups of Berti+Permit and Berti+DRIPPER over
+//! Berti+Discard across seen, unseen, and all (incl. non-intensive)
+//! workloads.
+//!
+//! Paper's numbers: Permit −0.8%/−0.9%/−0.6%; DRIPPER +1.7%/+1.2%/+0.4%.
+//! Shape: DRIPPER positive on every set, shrinking when non-intensive
+//! workloads dilute the geomean; Permit negative on every set; DRIPPER
+//! never harms the non-intensive workloads.
+
+use pagecross_bench::{
+    core_schemes, env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row,
+    run_all, Summary,
+};
+use pagecross_cpu::PrefetcherKind;
+use pagecross_workloads::{non_intensive_workloads, representative_seen, representative_unseen};
+
+fn geo_pair(workloads: &[&'static pagecross_workloads::Workload]) -> (f64, f64) {
+    let cfg = env_scale();
+    let schemes = core_schemes(PrefetcherKind::Berti);
+    let results = run_all(workloads, &schemes, &cfg);
+    let base = ipcs_of(&results, "discard-pgc");
+    (
+        geomean_speedup(&ipcs_of(&results, "permit-pgc"), &base),
+        geomean_speedup(&ipcs_of(&results, "dripper"), &base),
+    )
+}
+
+fn main() {
+    let seen = representative_seen(2);
+    let unseen = representative_unseen(2);
+    let non_intensive: Vec<_> = non_intensive_workloads().into_iter().take(8).collect();
+    let mut all = seen.clone();
+    all.extend(unseen.iter().copied());
+    all.extend(non_intensive.iter().copied());
+
+    print_header("table05", &["set", "permit", "dripper"]);
+    let (p_seen, d_seen) = geo_pair(&seen);
+    print_row("table05", &["seen".into(), fmt_pct(p_seen), fmt_pct(d_seen)]);
+    let (p_unseen, d_unseen) = geo_pair(&unseen);
+    print_row("table05", &["unseen".into(), fmt_pct(p_unseen), fmt_pct(d_unseen)]);
+    let (p_all, d_all) = geo_pair(&all);
+    print_row("table05", &["all+non-intensive".into(), fmt_pct(p_all), fmt_pct(d_all)]);
+    let (p_ni, d_ni) = geo_pair(&non_intensive);
+    print_row("table05", &["non-intensive only".into(), fmt_pct(p_ni), fmt_pct(d_ni)]);
+
+    let shape = d_seen > p_seen
+        && d_unseen > p_unseen
+        && d_all > p_all
+        && d_seen >= 0.999
+        && d_unseen >= 0.999
+        && d_ni >= 0.995; // DRIPPER must not harm non-intensive workloads
+    Summary {
+        experiment: "table05".into(),
+        paper: "Permit: −0.8%/−0.9%/−0.6%; DRIPPER: +1.7%/+1.2%/+0.4% (seen/unseen/all); \
+                non-intensive workloads unharmed"
+            .into(),
+        measured: format!(
+            "permit {}/{}/{}; dripper {}/{}/{}; non-intensive dripper {}",
+            fmt_pct(p_seen),
+            fmt_pct(p_unseen),
+            fmt_pct(p_all),
+            fmt_pct(d_seen),
+            fmt_pct(d_unseen),
+            fmt_pct(d_all),
+            fmt_pct(d_ni)
+        ),
+        shape_holds: shape,
+    }
+    .print();
+}

@@ -1,0 +1,57 @@
+//! Quick calibration probe: Permit vs Discard vs DRIPPER on representative
+//! workloads, plus wall-clock throughput.
+
+use pagecross_bench::{run_one, CampaignConfig, Scheme};
+use pagecross_cpu::{PgcPolicyKind, PrefetcherKind};
+use pagecross_workloads::{suite, SuiteId};
+use std::time::Instant;
+
+fn main() {
+    let schemes = [
+        Scheme::new("discard", PrefetcherKind::Berti, PgcPolicyKind::DiscardPgc),
+        Scheme::new("permit", PrefetcherKind::Berti, PgcPolicyKind::PermitPgc),
+        Scheme::new("dripper", PrefetcherKind::Berti, PgcPolicyKind::Dripper),
+    ];
+    let cfg = CampaignConfig::default();
+    let t0 = Instant::now();
+    let mut total_instr = 0u64;
+    for (sid, idx) in [
+        (SuiteId::Spec06, 0usize), // stream template
+        (SuiteId::Spec06, 1),      // segmented template
+        (SuiteId::Spec06, 2),      // chase
+        (SuiteId::Spec06, 3),      // TLB-bound stream
+        (SuiteId::Spec06, 4),      // stencil
+        (SuiteId::Gap, 0),         // graph stream
+        (SuiteId::Gap, 1),         // graph segmented
+        (SuiteId::Gap, 3),         // phase-alternating
+        (SuiteId::QmmInt, 0),
+        (SuiteId::QmmFp, 0),
+    ] {
+        let w = &suite(sid).workloads()[idx];
+        let mut line = format!("{:<14}", format!("{}[{}]", sid.label(), idx));
+        let mut ipcs = vec![];
+        for s in &schemes {
+            let r = run_one(w, s, &cfg);
+            total_instr += r.report.core.instructions;
+            ipcs.push(r.report.ipc());
+            line += &format!(
+                "  {}: ipc={:.3} pgcI/D={}/{} walks={} l1dM={:.1} stlbM={:.2}",
+                s.label,
+                r.report.ipc(),
+                r.report.prefetch.pgc_issued,
+                r.report.prefetch.pgc_discarded,
+                r.report.prefetch.speculative_walks,
+                r.report.l1d_mpki(),
+                r.report.stlb_mpki()
+            );
+        }
+        println!("{line}");
+        println!(
+            "    permit/discard = {:+.2}%  dripper/discard = {:+.2}%",
+            (ipcs[1] / ipcs[0] - 1.0) * 100.0,
+            (ipcs[2] / ipcs[0] - 1.0) * 100.0
+        );
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!("simulated {total_instr} instrs in {dt:.2}s = {:.1}M instr/s", total_instr as f64 / dt / 1e6);
+}

@@ -1,0 +1,27 @@
+//! Per-workload diagnostic over the quick seen set: dripper vs ppf.
+use pagecross_bench::{env_scale, quick_seen_set, run_one, Scheme};
+use pagecross_cpu::{PgcPolicyKind, PrefetcherKind};
+use pagecross_cpu::trace::TraceFactory;
+
+fn main() {
+    let cfg = env_scale();
+    let pf = std::env::var("DIAG_PF").ok().map(|v| match v.as_str() { "bop" => PrefetcherKind::Bop, "ipcp" => PrefetcherKind::Ipcp, _ => PrefetcherKind::Berti }).unwrap_or(PrefetcherKind::Berti);
+    for w in quick_seen_set() {
+        let d = run_one(w, &Scheme::new("d", pf, PgcPolicyKind::DiscardPgc), &cfg).report;
+        let p = run_one(w, &Scheme::new("p", pf, PgcPolicyKind::PermitPgc), &cfg).report;
+        let x = run_one(w, &Scheme::new("x", pf, PgcPolicyKind::Dripper), &cfg).report;
+        let f = run_one(w, &Scheme::new("f", pf, PgcPolicyKind::Ppf), &cfg).report;
+        println!(
+            "{:<12} permit {:+6.2}% dripper {:+6.2}% ppf {:+6.2}% | pgcI drip {:>6} ppf {:>6} permit {:>6} | pgc u/u drip {}/{} ppf {}/{}",
+            w.name(),
+            (p.ipc() / d.ipc() - 1.0) * 100.0,
+            (x.ipc() / d.ipc() - 1.0) * 100.0,
+            (f.ipc() / d.ipc() - 1.0) * 100.0,
+            x.prefetch.pgc_issued,
+            f.prefetch.pgc_issued,
+            p.prefetch.pgc_issued,
+            x.l1d.pgc_useful, x.l1d.pgc_useless,
+            f.l1d.pgc_useful, f.l1d.pgc_useless,
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Campaign runner: sweeps (workload × scheme) cells and collects reports.
+
+use pagecross_cpu::{
+    BoundaryMode, L2PrefetcherKind, PgcPolicyKind, PrefetcherKind, Report, SimulationBuilder,
+};
+use pagecross_mem::HugePagePolicy;
+use pagecross_workloads::Workload;
+
+/// One scheme under comparison: prefetcher + policy (+ variants).
+#[derive(Clone, Debug)]
+pub struct Scheme {
+    /// Display label.
+    pub label: String,
+    /// L1D prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// Page-cross policy.
+    pub policy: PgcPolicyKind,
+    /// L2C prefetcher.
+    pub l2: L2PrefetcherKind,
+    /// Filtering boundary mode.
+    pub boundary: BoundaryMode,
+    /// Huge-page policy.
+    pub huge: HugePagePolicy,
+}
+
+impl Scheme {
+    /// A scheme with the given prefetcher and policy, defaults elsewhere.
+    pub fn new(label: &str, prefetcher: PrefetcherKind, policy: PgcPolicyKind) -> Self {
+        Self {
+            label: label.to_string(),
+            prefetcher,
+            policy,
+            l2: L2PrefetcherKind::None,
+            boundary: BoundaryMode::Fixed4K,
+            huge: HugePagePolicy::None,
+        }
+    }
+}
+
+/// Campaign-wide length scaling (keeps the full figure set tractable).
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Multiplier on each workload's default warm-up length.
+    pub warmup_scale: f64,
+    /// Multiplier on each workload's default measured length.
+    pub measure_scale: f64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self { warmup_scale: 1.0, measure_scale: 1.0 }
+    }
+}
+
+/// One (workload, scheme) cell result.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Workload name.
+    pub workload: String,
+    /// Suite label.
+    pub suite: &'static str,
+    /// Scheme label.
+    pub scheme: String,
+    /// Full simulation report.
+    pub report: Report,
+}
+
+/// Runs one (workload, scheme) cell.
+pub fn run_one(w: &Workload, scheme: &Scheme, cfg: &CampaignConfig) -> WorkloadResult {
+    let (warm, measure) = w.default_lengths();
+    let report = SimulationBuilder::new()
+        .prefetcher(scheme.prefetcher)
+        .pgc_policy(scheme.policy)
+        .l2_prefetcher(scheme.l2)
+        .boundary(scheme.boundary)
+        .huge_pages(scheme.huge.clone())
+        .warmup((warm as f64 * cfg.warmup_scale) as u64)
+        .instructions((measure as f64 * cfg.measure_scale) as u64)
+        .run_workload(w);
+    WorkloadResult {
+        workload: w.name().to_string(),
+        suite: w.suite().label(),
+        scheme: scheme.label.clone(),
+        report,
+    }
+}
+
+/// Runs the full cross product; results are grouped by workload then scheme
+/// (scheme order preserved within each workload).
+pub fn run_all(
+    workloads: &[&Workload],
+    schemes: &[Scheme],
+    cfg: &CampaignConfig,
+) -> Vec<WorkloadResult> {
+    let mut out = Vec::with_capacity(workloads.len() * schemes.len());
+    for w in workloads {
+        for s in schemes {
+            out.push(run_one(w, s, cfg));
+        }
+    }
+    out
+}
+
+use pagecross_cpu::trace::TraceFactory;
+
+/// Campaign scale from the environment: `PAGECROSS_SCALE` multiplies the
+/// measured instruction counts (default 1.0). Use e.g. `PAGECROSS_SCALE=4`
+/// for higher-fidelity runs.
+pub fn env_scale() -> CampaignConfig {
+    let scale = std::env::var("PAGECROSS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.05, 100.0);
+    CampaignConfig { warmup_scale: scale, measure_scale: scale }
+}
+
+/// The default experiment workload set: a template-stratified slice of the
+/// seen set spanning every suite (size controlled by `PAGECROSS_PER_SUITE`,
+/// default 4 → 32 workloads).
+pub fn quick_seen_set() -> Vec<&'static Workload> {
+    let per_suite = std::env::var("PAGECROSS_PER_SUITE")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(4)
+        .clamp(1, 64);
+    pagecross_workloads::representative_seen(per_suite)
+}
+
+/// The motivation-study set (Figs. 2–4): a curated dozen covering
+/// page-cross-friendly, hostile and neutral behaviours.
+pub fn motivation_set() -> Vec<&'static Workload> {
+    use pagecross_workloads::{suite, SuiteId};
+    let pick = |s: SuiteId, idx: &[usize]| {
+        idx.iter().map(move |&i| &suite(s).workloads()[i]).collect::<Vec<_>>()
+    };
+    let mut v = Vec::new();
+    v.extend(pick(SuiteId::Spec06, &[0, 1, 2, 3, 4]));
+    v.extend(pick(SuiteId::Gap, &[0, 1, 2, 3]));
+    v.extend(pick(SuiteId::Ligra, &[0, 1]));
+    v.extend(pick(SuiteId::QmmInt, &[0]));
+    v.extend(pick(SuiteId::QmmFp, &[0]));
+    v
+}
+
+/// The three Fig. 9-style baseline schemes for a prefetcher.
+pub fn core_schemes(pf: PrefetcherKind) -> Vec<Scheme> {
+    vec![
+        Scheme::new("discard-pgc", pf, PgcPolicyKind::DiscardPgc),
+        Scheme::new("permit-pgc", pf, PgcPolicyKind::PermitPgc),
+        Scheme::new("dripper", pf, PgcPolicyKind::Dripper),
+    ]
+}
+
+/// Extracts the per-workload IPC vector of one scheme, in workload order.
+pub fn ipcs_of(results: &[WorkloadResult], scheme: &str) -> Vec<f64> {
+    results.iter().filter(|r| r.scheme == scheme).map(|r| r.report.ipc()).collect()
+}

@@ -1,0 +1,413 @@
+//! Command-line front-end for the simulator (the `pagecross` binary).
+//!
+//! Subcommands:
+//!
+//! * `list [--suite <id>]` — print the workload registry;
+//! * `run --workload <name> [--prefetcher p] [--policy q] [...]` — one
+//!   simulation, full report;
+//! * `compare --workload <name> [--prefetcher p]` — Discard vs Permit vs
+//!   DRIPPER in one line;
+//! * `sweep --suite <id> [--prefetcher p]` — the compare row for every
+//!   seen workload of a suite.
+//!
+//! Argument parsing is hand-rolled (the workspace is dependency-minimal);
+//! the parsed command is a plain enum so it is unit-testable.
+
+use pagecross_cpu::{L2PrefetcherKind, PgcPolicyKind, PrefetcherKind, SimulationBuilder};
+use pagecross_cpu::trace::TraceFactory;
+use pagecross_mem::HugePagePolicy;
+use pagecross_workloads::{seen_workloads, suite, SuiteId, Workload};
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// List workloads, optionally restricted to one suite.
+    List {
+        /// Suite filter.
+        suite: Option<SuiteId>,
+    },
+    /// Run one simulation.
+    Run(RunArgs),
+    /// Compare the three core policies on one workload.
+    Compare {
+        /// Workload name.
+        workload: String,
+        /// L1D prefetcher.
+        prefetcher: PrefetcherKind,
+    },
+    /// Compare the three core policies across a suite.
+    Sweep {
+        /// Suite to sweep.
+        suite: SuiteId,
+        /// L1D prefetcher.
+        prefetcher: PrefetcherKind,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of the `run` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArgs {
+    /// Workload name (registry lookup).
+    pub workload: String,
+    /// L1D prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// Page-cross policy.
+    pub policy: PgcPolicyKind,
+    /// L2C prefetcher.
+    pub l2: L2PrefetcherKind,
+    /// Huge-page fraction (0 disables).
+    pub huge_fraction: f64,
+    /// Warm-up instructions (0 = workload default).
+    pub warmup: u64,
+    /// Measured instructions (0 = workload default).
+    pub instructions: u64,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            workload: String::new(),
+            prefetcher: PrefetcherKind::Berti,
+            policy: PgcPolicyKind::Dripper,
+            l2: L2PrefetcherKind::None,
+            huge_fraction: 0.0,
+            warmup: 0,
+            instructions: 0,
+        }
+    }
+}
+
+/// A CLI error with a user-facing message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn parse_suite(s: &str) -> Result<SuiteId, CliError> {
+    SuiteId::ALL
+        .into_iter()
+        .find(|id| id.label() == s)
+        .ok_or_else(|| CliError(format!("unknown suite '{s}' (try: spec06, gap, qmm_int, …)")))
+}
+
+fn parse_prefetcher(s: &str) -> Result<PrefetcherKind, CliError> {
+    match s {
+        "none" => Ok(PrefetcherKind::None),
+        "next-line" => Ok(PrefetcherKind::NextLine),
+        "stride" => Ok(PrefetcherKind::Stride),
+        "berti" => Ok(PrefetcherKind::Berti),
+        "ipcp" => Ok(PrefetcherKind::Ipcp),
+        "bop" => Ok(PrefetcherKind::Bop),
+        _ => Err(CliError(format!("unknown prefetcher '{s}'"))),
+    }
+}
+
+fn parse_policy(s: &str) -> Result<PgcPolicyKind, CliError> {
+    match s {
+        "permit" => Ok(PgcPolicyKind::PermitPgc),
+        "discard" => Ok(PgcPolicyKind::DiscardPgc),
+        "discard-ptw" => Ok(PgcPolicyKind::DiscardPtw),
+        "iso-storage" => Ok(PgcPolicyKind::IsoStorage),
+        "dripper" => Ok(PgcPolicyKind::Dripper),
+        "dripper-sf" => Ok(PgcPolicyKind::DripperSf),
+        "ppf" => Ok(PgcPolicyKind::Ppf),
+        "ppf-dthr" => Ok(PgcPolicyKind::PpfDthr),
+        _ => Err(CliError(format!("unknown policy '{s}'"))),
+    }
+}
+
+fn parse_l2(s: &str) -> Result<L2PrefetcherKind, CliError> {
+    match s {
+        "none" => Ok(L2PrefetcherKind::None),
+        "spp" => Ok(L2PrefetcherKind::Spp),
+        "ipcp" => Ok(L2PrefetcherKind::Ipcp),
+        "bop" => Ok(L2PrefetcherKind::Bop),
+        _ => Err(CliError(format!("unknown l2 prefetcher '{s}'"))),
+    }
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    let Some(cmd) = it.next() else { return Ok(Command::Help) };
+
+    let mut kv = std::collections::HashMap::new();
+    let rest: Vec<&str> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i];
+        if !key.starts_with("--") {
+            return Err(CliError(format!("expected --flag, got '{key}'")));
+        }
+        let val = rest
+            .get(i + 1)
+            .ok_or_else(|| CliError(format!("flag '{key}' needs a value")))?;
+        kv.insert(key.trim_start_matches("--").to_string(), val.to_string());
+        i += 2;
+    }
+    let get = |k: &str| kv.get(k).map(String::as_str);
+
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List { suite: get("suite").map(parse_suite).transpose()? }),
+        "run" => {
+            let mut a = RunArgs {
+                workload: get("workload")
+                    .ok_or_else(|| CliError("run requires --workload <name>".into()))?
+                    .to_string(),
+                ..Default::default()
+            };
+            if let Some(p) = get("prefetcher") {
+                a.prefetcher = parse_prefetcher(p)?;
+            }
+            if let Some(p) = get("policy") {
+                a.policy = parse_policy(p)?;
+            }
+            if let Some(p) = get("l2") {
+                a.l2 = parse_l2(p)?;
+            }
+            if let Some(p) = get("huge") {
+                a.huge_fraction = p
+                    .parse()
+                    .map_err(|_| CliError(format!("--huge expects a fraction, got '{p}'")))?;
+            }
+            if let Some(p) = get("warmup") {
+                a.warmup =
+                    p.parse().map_err(|_| CliError(format!("--warmup expects a count, got '{p}'")))?;
+            }
+            if let Some(p) = get("instructions") {
+                a.instructions = p
+                    .parse()
+                    .map_err(|_| CliError(format!("--instructions expects a count, got '{p}'")))?;
+            }
+            Ok(Command::Run(a))
+        }
+        "compare" => Ok(Command::Compare {
+            workload: get("workload")
+                .ok_or_else(|| CliError("compare requires --workload <name>".into()))?
+                .to_string(),
+            prefetcher: get("prefetcher").map(parse_prefetcher).transpose()?.unwrap_or(PrefetcherKind::Berti),
+        }),
+        "sweep" => Ok(Command::Sweep {
+            suite: parse_suite(
+                get("suite").ok_or_else(|| CliError("sweep requires --suite <id>".into()))?,
+            )?,
+            prefetcher: get("prefetcher").map(parse_prefetcher).transpose()?.unwrap_or(PrefetcherKind::Berti),
+        }),
+        other => Err(CliError(format!("unknown subcommand '{other}' (try 'help')"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+pagecross — simulate page-cross prefetch filtering (HPCA'25 reproduction)
+
+USAGE:
+  pagecross list [--suite <id>]
+  pagecross run --workload <name> [--prefetcher berti|ipcp|bop|stride|next-line|none]
+                [--policy dripper|permit|discard|discard-ptw|iso-storage|dripper-sf|ppf|ppf-dthr]
+                [--l2 none|spp|ipcp|bop] [--huge <fraction>]
+                [--warmup <n>] [--instructions <n>]
+  pagecross compare --workload <name> [--prefetcher <p>]
+  pagecross sweep --suite <id> [--prefetcher <p>]
+
+Suites: spec06 spec17 gap ligra parsec gkb5 qmm_int qmm_fp
+";
+
+fn find_workload(name: &str) -> Result<&'static Workload, CliError> {
+    for id in SuiteId::ALL {
+        if let Some(w) = suite(id).workloads().iter().find(|w| w.name() == name) {
+            return Ok(w);
+        }
+    }
+    Err(CliError(format!("unknown workload '{name}' (use 'pagecross list')")))
+}
+
+fn run_one(w: &Workload, pf: PrefetcherKind, policy: PgcPolicyKind) -> pagecross_cpu::Report {
+    let (warm, measure) = w.default_lengths();
+    SimulationBuilder::new()
+        .prefetcher(pf)
+        .pgc_policy(policy)
+        .warmup(warm)
+        .instructions(measure)
+        .run_workload(w)
+}
+
+fn compare_line(w: &Workload, pf: PrefetcherKind) -> String {
+    let d = run_one(w, pf, PgcPolicyKind::DiscardPgc).ipc();
+    let p = run_one(w, pf, PgcPolicyKind::PermitPgc).ipc();
+    let x = run_one(w, pf, PgcPolicyKind::Dripper).ipc();
+    format!(
+        "{:<14} discard ipc={:.3}  permit {:+.2}%  dripper {:+.2}%",
+        w.name(),
+        d,
+        (p / d - 1.0) * 100.0,
+        (x / d - 1.0) * 100.0
+    )
+}
+
+/// Executes a parsed command, printing to stdout. Returns an exit code.
+pub fn execute(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            print!("{USAGE}");
+            0
+        }
+        Command::List { suite: filter } => {
+            for id in SuiteId::ALL {
+                if filter.is_some_and(|f| f != id) {
+                    continue;
+                }
+                for w in suite(id).workloads() {
+                    println!(
+                        "{:<14} suite={:<8} {} {}",
+                        w.name(),
+                        id.label(),
+                        if w.is_seen() { "seen  " } else { "unseen" },
+                        if w.is_intensive() { "intensive" } else { "non-intensive" },
+                    );
+                }
+            }
+            0
+        }
+        Command::Run(a) => {
+            let w = match find_workload(&a.workload) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let (dw, di) = w.default_lengths();
+            let r = SimulationBuilder::new()
+                .prefetcher(a.prefetcher)
+                .pgc_policy(a.policy)
+                .l2_prefetcher(a.l2)
+                .huge_pages(if a.huge_fraction > 0.0 {
+                    HugePagePolicy::Fraction(a.huge_fraction)
+                } else {
+                    HugePagePolicy::None
+                })
+                .warmup(if a.warmup > 0 { a.warmup } else { dw })
+                .instructions(if a.instructions > 0 { a.instructions } else { di })
+                .run_workload(w);
+            println!("workload     {}", r.workload);
+            println!("prefetcher   {} / policy {}", r.prefetcher, r.policy);
+            println!("IPC          {:.4}  ({} instr, {} cycles)", r.ipc(), r.core.instructions, r.core.cycles);
+            println!("MPKI         l1i {:.2}  l1d {:.2}  llc {:.2}  dtlb {:.2}  stlb {:.2}",
+                r.l1i_mpki(), r.l1d_mpki(), r.llc_mpki(), r.dtlb_mpki(), r.stlb_mpki());
+            println!("prefetch     candidates {}  in-page {}  pgc-candidates {}",
+                r.prefetch.candidates, r.prefetch.inpage_issued, r.prefetch.pgc_candidates);
+            println!("page-cross   issued {}  discarded {}  spec-walks {}  useful {}  useless {}",
+                r.prefetch.pgc_issued, r.prefetch.pgc_discarded, r.prefetch.speculative_walks,
+                r.l1d.pgc_useful, r.l1d.pgc_useless);
+            println!("quality      coverage {:.3}  accuracy {:.3}  pgc-accuracy {:.3}",
+                r.coverage(), r.prefetch_accuracy(), r.pgc_accuracy());
+            0
+        }
+        Command::Compare { workload, prefetcher } => match find_workload(&workload) {
+            Ok(w) => {
+                println!("{}", compare_line(w, prefetcher));
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                2
+            }
+        },
+        Command::Sweep { suite: id, prefetcher } => {
+            for w in seen_workloads().into_iter().filter(|w| w.suite() == id) {
+                println!("{}", compare_line(w, prefetcher));
+            }
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn list_with_suite() {
+        assert_eq!(
+            parse(&argv("list --suite gap")).unwrap(),
+            Command::List { suite: Some(SuiteId::Gap) }
+        );
+        assert!(parse(&argv("list --suite nope")).is_err());
+    }
+
+    #[test]
+    fn run_parses_all_flags() {
+        let cmd = parse(&argv(
+            "run --workload gap.s00 --prefetcher bop --policy permit --l2 spp --huge 0.5 \
+             --warmup 1000 --instructions 2000",
+        ))
+        .unwrap();
+        let Command::Run(a) = cmd else { panic!("expected run") };
+        assert_eq!(a.workload, "gap.s00");
+        assert_eq!(a.prefetcher, PrefetcherKind::Bop);
+        assert_eq!(a.policy, PgcPolicyKind::PermitPgc);
+        assert_eq!(a.l2, L2PrefetcherKind::Spp);
+        assert!((a.huge_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(a.warmup, 1_000);
+        assert_eq!(a.instructions, 2_000);
+    }
+
+    #[test]
+    fn run_requires_workload() {
+        assert!(parse(&argv("run --policy dripper")).is_err());
+    }
+
+    #[test]
+    fn flags_need_values() {
+        assert!(parse(&argv("run --workload")).is_err());
+        assert!(parse(&argv("list --suite gap stray")).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_rejected() {
+        let e = parse(&argv("frobnicate")).unwrap_err();
+        assert!(e.0.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn defaults_are_berti_dripper() {
+        let Command::Run(a) = parse(&argv("run --workload spec06.s00")).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(a.prefetcher, PrefetcherKind::Berti);
+        assert_eq!(a.policy, PgcPolicyKind::Dripper);
+    }
+
+    #[test]
+    fn find_workload_by_name() {
+        assert!(find_workload("gap.s00").is_ok());
+        assert!(find_workload("gap.u00").is_ok());
+        assert!(find_workload("nonexistent.z99").is_err());
+    }
+
+    #[test]
+    fn execute_list_and_help_succeed() {
+        assert_eq!(execute(Command::Help), 0);
+        assert_eq!(execute(Command::List { suite: Some(SuiteId::QmmFp) }), 0);
+    }
+}

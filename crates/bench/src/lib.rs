@@ -1,0 +1,13 @@
+//! Experiment harness utilities for the per-figure/table bench targets.
+//!
+//! Each paper artefact (Figs. 2–4, 9–19, Tables III & V) has a bench target
+//! under `benches/` that uses these helpers to run a campaign and print the
+//! paper's rows/series plus a paper-vs-measured summary line. See
+//! EXPERIMENTS.md for the index and recorded results.
+
+pub mod campaign;
+pub mod cli;
+pub mod table;
+
+pub use campaign::{core_schemes, env_scale, ipcs_of, motivation_set, quick_seen_set, run_all, run_one, CampaignConfig, Scheme, WorkloadResult};
+pub use table::{fmt_pct, geomean_speedup, print_header, print_row, Summary};

@@ -1,0 +1,84 @@
+//! Report-table formatting helpers shared by the figure/table benches.
+
+use pagecross_types::geomean;
+
+/// Formats a ratio as a signed percentage ("+1.73%").
+pub fn fmt_pct(ratio: f64) -> String {
+    format!("{:+.2}%", (ratio - 1.0) * 100.0)
+}
+
+/// Geometric-mean speedup of `variant` IPCs over `baseline` IPCs
+/// (element-wise, same workload order).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn geomean_speedup(variant: &[f64], baseline: &[f64]) -> f64 {
+    assert_eq!(variant.len(), baseline.len(), "paired IPC vectors");
+    let ratios: Vec<f64> = variant
+        .iter()
+        .zip(baseline)
+        .map(|(v, b)| if *b > 0.0 { v / b } else { 1.0 })
+        .collect();
+    geomean(&ratios).unwrap_or(1.0)
+}
+
+/// Prints a TSV header line prefixed with the experiment id.
+pub fn print_header(experiment: &str, cols: &[&str]) {
+    println!("[{experiment}] {}", cols.join("\t"));
+}
+
+/// Prints a TSV row prefixed with the experiment id.
+pub fn print_row(experiment: &str, cells: &[String]) {
+    println!("[{experiment}] {}", cells.join("\t"));
+}
+
+/// A paper-vs-measured summary line printed at the end of each experiment.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Experiment id (e.g. "fig10").
+    pub experiment: String,
+    /// What the paper reports.
+    pub paper: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the qualitative shape matches.
+    pub shape_holds: bool,
+}
+
+impl Summary {
+    /// Prints the summary in the stable grep-able format EXPERIMENTS.md
+    /// references.
+    pub fn print(&self) {
+        println!(
+            "[{}] SUMMARY paper=({}) measured=({}) shape={}",
+            self.experiment,
+            self.paper,
+            self.measured,
+            if self.shape_holds { "HOLDS" } else { "DIVERGES" }
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(fmt_pct(1.0173), "+1.73%");
+        assert_eq!(fmt_pct(0.98), "-2.00%");
+    }
+
+    #[test]
+    fn geomean_speedup_pairs() {
+        let g = geomean_speedup(&[1.1, 1.1], &[1.0, 1.0]);
+        assert!((g - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn mismatched_lengths_rejected() {
+        geomean_speedup(&[1.0], &[]);
+    }
+}

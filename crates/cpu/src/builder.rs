@@ -1,0 +1,451 @@
+//! The simulation builder: assembles a core + memory system + prefetcher +
+//! page-cross policy and runs workloads or multi-core mixes.
+
+use crate::config::{BoundaryMode, CoreConfig};
+use crate::engine::CoreEngine;
+use crate::report::{MixReport, Report};
+use crate::trace::TraceFactory;
+use moka_pgc::dripper::{
+    dripper_config, single_program_feature, single_system_feature, TargetPrefetcher,
+};
+use moka_pgc::{
+    DiscardPgc, DiscardPtw, FilterConfig, FilterPolicy, PageCrossFilter, PermitPgc, PgcPolicy,
+    ProgramFeature, SystemFeature,
+};
+use pagecross_mem::{HugePagePolicy, MemConfig, MemorySystem};
+use pagecross_prefetch::{
+    AccessInfo, Berti, Bop, Ipcp, L1dPrefetcher, L2Prefetcher, NextLine, Spp, Stride,
+};
+use pagecross_types::{PrefetchCandidate, VirtAddr};
+
+/// L1D prefetcher selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefetcherKind {
+    /// No prefetching.
+    None,
+    /// Next-line baseline.
+    NextLine,
+    /// PC-stride baseline.
+    Stride,
+    /// Berti (MICRO'22) — the paper's primary case study.
+    Berti,
+    /// IPCP (ISCA'20).
+    Ipcp,
+    /// BOP (HPCA'16).
+    Bop,
+}
+
+impl PrefetcherKind {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "none",
+            PrefetcherKind::NextLine => "next-line",
+            PrefetcherKind::Stride => "stride",
+            PrefetcherKind::Berti => "berti",
+            PrefetcherKind::Ipcp => "ipcp",
+            PrefetcherKind::Bop => "bop",
+        }
+    }
+
+    fn dripper_target(self) -> TargetPrefetcher {
+        match self {
+            PrefetcherKind::Berti => TargetPrefetcher::Berti,
+            PrefetcherKind::Bop => TargetPrefetcher::Bop,
+            // IPCP and the baselines share the PC⊕Delta configuration.
+            _ => TargetPrefetcher::Ipcp,
+        }
+    }
+}
+
+/// Page-cross policy selection (the schemes of Fig. 9 and §V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PgcPolicyKind {
+    /// Always issue page-cross prefetches.
+    PermitPgc,
+    /// Never issue page-cross prefetches.
+    DiscardPgc,
+    /// Issue only when the translation is TLB-resident (no speculative
+    /// walks).
+    DiscardPtw,
+    /// Permit PGC with the prefetcher's tables enlarged by DRIPPER's
+    /// storage budget.
+    IsoStorage,
+    /// DRIPPER (Table II configuration for the active prefetcher).
+    Dripper,
+    /// DRIPPER with only its system features (§V-B5).
+    DripperSf,
+    /// DRIPPER with a static activation threshold (ablation).
+    DripperStatic(i32),
+    /// PPF converted to a page-cross filter (static threshold).
+    Ppf,
+    /// PPF with MOKA's dynamic thresholding.
+    PpfDthr,
+    /// A filter built from exactly one program feature (Fig. 14).
+    SingleFeature(ProgramFeature),
+    /// A filter built from exactly one system feature (Fig. 14).
+    SingleSystemFeature(SystemFeature),
+}
+
+impl PgcPolicyKind {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PgcPolicyKind::PermitPgc => "permit-pgc",
+            PgcPolicyKind::DiscardPgc => "discard-pgc",
+            PgcPolicyKind::DiscardPtw => "discard-ptw",
+            PgcPolicyKind::IsoStorage => "iso-storage",
+            PgcPolicyKind::Dripper => "dripper",
+            PgcPolicyKind::DripperSf => "dripper-sf",
+            PgcPolicyKind::DripperStatic(_) => "dripper-static",
+            PgcPolicyKind::Ppf => "ppf",
+            PgcPolicyKind::PpfDthr => "ppf+dthr",
+            PgcPolicyKind::SingleFeature(_) => "single-feature",
+            PgcPolicyKind::SingleSystemFeature(_) => "single-sys-feature",
+        }
+    }
+}
+
+/// L2C prefetcher selection (§V-B7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum L2PrefetcherKind {
+    /// No L2C prefetcher (the paper's main configuration).
+    #[default]
+    None,
+    /// SPP.
+    Spp,
+    /// IPCP adapted to the physical space.
+    Ipcp,
+    /// BOP adapted to the physical space.
+    Bop,
+}
+
+/// Adapts an L1D-style prefetcher to the L2C's physical, page-bounded
+/// world: candidates leaving the 4 KB physical page are dropped.
+struct L2Adapter<P: L1dPrefetcher> {
+    inner: P,
+    buf: Vec<PrefetchCandidate>,
+}
+
+impl<P: L1dPrefetcher> L2Prefetcher for L2Adapter<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn on_access(&mut self, pc: u64, paddr: u64, hit: bool, out: &mut Vec<u64>) {
+        let va = VirtAddr::new(paddr); // physical bits reinterpreted
+        let info = AccessInfo { pc, va, hit, cycle: 0, first_page_access: false };
+        self.buf.clear();
+        self.inner.on_access(&info, &mut self.buf);
+        if !hit {
+            self.inner.on_fill(va, 0);
+        }
+        for c in &self.buf {
+            if !c.crosses_page_4k() {
+                out.push(c.target.raw());
+            }
+        }
+    }
+}
+
+/// A no-op prefetcher for the `None` kind.
+struct NoPrefetch;
+
+impl L1dPrefetcher for NoPrefetch {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn on_access(&mut self, _info: &AccessInfo, _out: &mut Vec<PrefetchCandidate>) {}
+}
+
+/// Builds and runs simulations.
+///
+/// # Example
+///
+/// ```
+/// use pagecross_cpu::{SimulationBuilder, PrefetcherKind, PgcPolicyKind};
+/// use pagecross_cpu::trace::{Instr, Op, TraceFactory, TraceSource};
+/// use pagecross_types::VirtAddr;
+///
+/// struct Stream;
+/// struct StreamSrc(u64);
+/// impl TraceSource for StreamSrc {
+///     fn next_instr(&mut self) -> Instr {
+///         self.0 += 64;
+///         Instr { pc: 0x400000, op: Op::Load { va: VirtAddr::new(0x10_0000 + self.0), depends_on_prev: false } }
+///     }
+/// }
+/// impl TraceFactory for Stream {
+///     fn name(&self) -> &str { "stream" }
+///     fn build(&self) -> Box<dyn TraceSource> { Box::new(StreamSrc(0)) }
+/// }
+///
+/// let report = SimulationBuilder::new()
+///     .prefetcher(PrefetcherKind::Berti)
+///     .pgc_policy(PgcPolicyKind::Dripper)
+///     .warmup(2_000)
+///     .instructions(10_000)
+///     .run_workload(&Stream);
+/// assert!(report.ipc() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimulationBuilder {
+    prefetcher: PrefetcherKind,
+    policy: PgcPolicyKind,
+    custom_filter: Option<FilterConfig>,
+    l2_prefetcher: L2PrefetcherKind,
+    boundary: BoundaryMode,
+    huge_pages: HugePagePolicy,
+    core_cfg: CoreConfig,
+    warmup: u64,
+    instructions: u64,
+    seed: u64,
+}
+
+impl SimulationBuilder {
+    /// A builder with the paper's defaults: Berti + DRIPPER, 4 KB pages,
+    /// no L2C prefetcher.
+    pub fn new() -> Self {
+        Self {
+            prefetcher: PrefetcherKind::Berti,
+            policy: PgcPolicyKind::Dripper,
+            custom_filter: None,
+            l2_prefetcher: L2PrefetcherKind::None,
+            boundary: BoundaryMode::Fixed4K,
+            huge_pages: HugePagePolicy::None,
+            core_cfg: CoreConfig::default(),
+            warmup: 50_000,
+            instructions: 100_000,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Selects the L1D prefetcher.
+    pub fn prefetcher(mut self, kind: PrefetcherKind) -> Self {
+        self.prefetcher = kind;
+        self
+    }
+
+    /// Selects the page-cross policy.
+    pub fn pgc_policy(mut self, kind: PgcPolicyKind) -> Self {
+        self.policy = kind;
+        self
+    }
+
+    /// Overrides the policy with a filter built from an explicit MOKA
+    /// configuration (ablation studies: buffer sizes, table sizes, custom
+    /// feature selections).
+    pub fn custom_filter(mut self, cfg: FilterConfig) -> Self {
+        self.custom_filter = Some(cfg);
+        self
+    }
+
+    /// Selects the L2C prefetcher.
+    pub fn l2_prefetcher(mut self, kind: L2PrefetcherKind) -> Self {
+        self.l2_prefetcher = kind;
+        self
+    }
+
+    /// Selects the filtering boundary mode (§V-B6).
+    pub fn boundary(mut self, mode: BoundaryMode) -> Self {
+        self.boundary = mode;
+        self
+    }
+
+    /// Selects the huge-page policy of the address space.
+    pub fn huge_pages(mut self, policy: HugePagePolicy) -> Self {
+        self.huge_pages = policy;
+        self
+    }
+
+    /// Overrides the core configuration.
+    pub fn core_config(mut self, cfg: CoreConfig) -> Self {
+        self.core_cfg = cfg;
+        self
+    }
+
+    /// Warm-up instructions (statistics discarded).
+    pub fn warmup(mut self, n: u64) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Measured instructions.
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.instructions = n;
+        self
+    }
+
+    /// Seed for physical frame placement.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn make_prefetcher(&self) -> Box<dyn L1dPrefetcher> {
+        // ISO-Storage gives the prefetcher DRIPPER's budget as extra tables.
+        let mult = if self.policy == PgcPolicyKind::IsoStorage { 4 } else { 1 };
+        match self.prefetcher {
+            PrefetcherKind::None => Box::new(NoPrefetch),
+            PrefetcherKind::NextLine => Box::new(NextLine::new(1)),
+            PrefetcherKind::Stride => Box::new(Stride::new(2)),
+            PrefetcherKind::Berti => Box::new(Berti::new(mult)),
+            PrefetcherKind::Ipcp => Box::new(Ipcp::new(mult)),
+            PrefetcherKind::Bop => Box::new(Bop::new(mult)),
+        }
+    }
+
+    fn make_policy(&self) -> Box<dyn PgcPolicy> {
+        if let Some(cfg) = &self.custom_filter {
+            return Box::new(FilterPolicy::new("custom", PageCrossFilter::new(cfg.clone())));
+        }
+        match self.policy {
+            PgcPolicyKind::PermitPgc | PgcPolicyKind::IsoStorage => Box::new(PermitPgc),
+            PgcPolicyKind::DiscardPgc => Box::new(DiscardPgc),
+            PgcPolicyKind::DiscardPtw => Box::new(DiscardPtw),
+            PgcPolicyKind::Dripper => {
+                Box::new(moka_pgc::dripper::dripper(self.prefetcher.dripper_target()))
+            }
+            PgcPolicyKind::DripperSf => Box::new(moka_pgc::dripper_sf()),
+            PgcPolicyKind::DripperStatic(t) => {
+                let mut cfg = dripper_config(self.prefetcher.dripper_target());
+                cfg.adaptive = false;
+                cfg.static_threshold = t;
+                Box::new(FilterPolicy::new("dripper-static", PageCrossFilter::new(cfg)))
+            }
+            PgcPolicyKind::Ppf => Box::new(moka_pgc::ppf()),
+            PgcPolicyKind::PpfDthr => Box::new(moka_pgc::ppf_dthr()),
+            PgcPolicyKind::SingleFeature(f) => Box::new(single_program_feature(f)),
+            PgcPolicyKind::SingleSystemFeature(f) => Box::new(single_system_feature(f)),
+        }
+    }
+
+    fn make_l2(&self) -> Option<Box<dyn L2Prefetcher>> {
+        match self.l2_prefetcher {
+            L2PrefetcherKind::None => None,
+            L2PrefetcherKind::Spp => Some(Box::new(Spp::new())),
+            L2PrefetcherKind::Ipcp => {
+                Some(Box::new(L2Adapter { inner: Ipcp::new(1), buf: Vec::new() }))
+            }
+            L2PrefetcherKind::Bop => {
+                Some(Box::new(L2Adapter { inner: Bop::new(1), buf: Vec::new() }))
+            }
+        }
+    }
+
+    fn make_engine(&self, core_id: usize) -> CoreEngine {
+        CoreEngine::new(
+            core_id,
+            self.core_cfg,
+            self.boundary,
+            self.make_prefetcher(),
+            self.make_policy(),
+            self.make_l2(),
+        )
+    }
+
+    fn collect_report(&self, name: &str, engine: &CoreEngine, mem: &MemorySystem) -> Report {
+        let c = mem.core(0);
+        Report {
+            workload: name.to_string(),
+            prefetcher: self.prefetcher.label().to_string(),
+            policy: self.policy.label().to_string(),
+            core: engine.stats,
+            l1i: c.l1i.stats,
+            l1d: c.l1d.stats,
+            l2c: c.l2c.stats,
+            llc: mem.llc.stats,
+            dtlb: c.dtlb.stats,
+            stlb: c.stlb.stats,
+            walks: c.walk_stats,
+            prefetch: engine.pstats,
+        }
+    }
+
+    /// Runs a single workload on a single core.
+    pub fn run_workload(&self, workload: &dyn TraceFactory) -> Report {
+        let mut mem =
+            MemorySystem::new(MemConfig::table_iv(1), 1, self.huge_pages.clone(), self.seed);
+        let mut engine = self.make_engine(0);
+        let mut trace = workload.build();
+        for _ in 0..self.warmup {
+            let i = trace.next_instr();
+            engine.step(&mut mem, &i);
+        }
+        mem.reset_stats();
+        engine.reset_stats(&mem);
+        for _ in 0..self.instructions {
+            let i = trace.next_instr();
+            engine.step(&mut mem, &i);
+        }
+        engine.finish();
+        self.collect_report(workload.name(), &engine, &mem)
+    }
+
+    /// Runs an `n`-core mix (§IV-A2): cores advance in rough cycle
+    /// lockstep; each core's statistics freeze when it reaches the measured
+    /// instruction quota, and it keeps running (replayed) to preserve
+    /// contention until every core finishes.
+    pub fn run_mix(&self, workloads: &[&dyn TraceFactory]) -> MixReport {
+        let n = workloads.len();
+        assert!(n > 0, "a mix needs at least one workload");
+        let mut mem =
+            MemorySystem::new(MemConfig::table_iv(n as u32), n, self.huge_pages.clone(), self.seed);
+        let mut engines: Vec<CoreEngine> = (0..n).map(|i| self.make_engine(i)).collect();
+        let mut traces: Vec<_> = workloads.iter().map(|w| w.build()).collect();
+
+        // Warm-up all cores in rough lockstep.
+        let mut warmed = vec![false; n];
+        while warmed.iter().any(|w| !w) {
+            let pending: Vec<bool> = warmed.iter().map(|w| !w).collect();
+            let i = next_core(&engines, &pending);
+            let instr = traces[i].next_instr();
+            engines[i].step(&mut mem, &instr);
+            if engines[i].instructions() >= self.warmup {
+                warmed[i] = true;
+            }
+        }
+        mem.reset_stats();
+        for e in &mut engines {
+            e.reset_stats(&mem);
+        }
+
+        // Measured phase.
+        let mut frozen: Vec<Option<pagecross_types::CoreStats>> = vec![None; n];
+        while frozen.iter().any(Option::is_none) {
+            let pending: Vec<bool> = frozen.iter().map(Option::is_none).collect();
+            let i = next_core(&engines, &pending);
+            let instr = traces[i].next_instr();
+            engines[i].step(&mut mem, &instr);
+            if frozen[i].is_none() && engines[i].instructions() >= self.instructions {
+                engines[i].finish();
+                frozen[i] = Some(engines[i].stats);
+            }
+        }
+
+        MixReport {
+            workloads: workloads.iter().map(|w| w.name().to_string()).collect(),
+            cores: frozen.into_iter().map(|s| s.expect("all cores frozen")).collect(),
+            llc: mem.llc.stats,
+        }
+    }
+}
+
+/// Picks the laggard core among those still eligible (`true` in `mask`);
+/// falls back to any eligible core when all are done.
+fn next_core(engines: &[CoreEngine], mask: &[bool]) -> usize {
+    engines
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask[*i])
+        .min_by_key(|(_, e)| e.cycle())
+        .map(|(i, _)| i)
+        .expect("at least one eligible core")
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}

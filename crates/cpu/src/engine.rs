@@ -1,0 +1,446 @@
+//! The per-core execution engine: an ROB-occupancy-limited out-of-order
+//! timing model with a decoupled front-end approximation.
+//!
+//! The model dispatches instructions in program order at `issue_width` per
+//! cycle, bounded by ROB capacity; loads complete when the memory hierarchy
+//! returns, everything else in one cycle. Independent loads overlap
+//! (memory-level parallelism), dependent loads serialise
+//! ([`crate::trace::Op::Load::depends_on_prev`]), branch mispredictions
+//! inject front-end bubbles, and the ROB-full condition stalls dispatch at
+//! the head's completion time — the same first-order behaviours ChampSim's
+//! O3 model exhibits.
+//!
+//! The engine also owns all the prefetch plumbing of Fig. 5: it trains the
+//! L1D prefetcher on demand accesses, splits candidates into in-page and
+//! page-cross, routes page-cross candidates through the policy/filter, and
+//! feeds every training event (demand misses for the vUB, PCB hits and
+//! evictions for the pUB, epoch snapshots for the adaptive threshold) back
+//! to the policy.
+
+use crate::branch::BranchPredictor;
+use crate::config::{BoundaryMode, CoreConfig};
+use crate::trace::{Instr, Op};
+use moka_pgc::{FeatureContext, PgcPolicy, PolicyAction};
+use pagecross_mem::{Eviction, MemorySystem};
+use pagecross_prefetch::{AccessInfo, FnlMma, L1dPrefetcher, L1iPrefetcher, L2Prefetcher};
+use pagecross_types::{
+    CoreStats, PageSize, PhysAddr, PrefetchCandidate, PrefetchStats, SystemSnapshot, VirtAddr,
+};
+use std::collections::{HashSet, VecDeque};
+
+/// Cumulative counters captured at a window boundary (for snapshot diffs).
+#[derive(Clone, Copy, Debug, Default)]
+struct CounterBase {
+    instructions: u64,
+    cycles: u64,
+    l1d_acc: u64,
+    l1d_miss: u64,
+    l1i_miss: u64,
+    llc_acc: u64,
+    llc_miss: u64,
+    stlb_acc: u64,
+    stlb_miss: u64,
+    pgc_useful: u64,
+    pgc_useless: u64,
+}
+
+/// One core's execution state.
+pub struct CoreEngine {
+    cfg: CoreConfig,
+    boundary: BoundaryMode,
+    core_id: usize,
+
+    cycle: u64,
+    /// Cycle at which measurement began (end of warm-up).
+    cycle_base: u64,
+    issued_this_cycle: u32,
+    rob: VecDeque<u64>,
+    last_completion: u64,
+    prev_load_completion: u64,
+    last_fetch_line: u64,
+    fetch_ready: u64,
+    fetch_stall_until: u64,
+
+    bp: BranchPredictor,
+    l1i_prefetcher: FnlMma,
+    l1i_buf: Vec<u64>,
+    prefetcher: Box<dyn L1dPrefetcher>,
+    policy: Box<dyn PgcPolicy>,
+    l2_prefetcher: Option<Box<dyn L2Prefetcher>>,
+
+    // Feature histories (most-recent-first).
+    va_hist: [u64; 3],
+    pc_hist: [u64; 3],
+    delta_hist: [i64; 3],
+    last_line: i64,
+    touched_pages: HashSet<u64>,
+
+    epoch_base: CounterBase,
+    snapshot: SystemSnapshot,
+    instrs_since_spot: u64,
+    instrs_since_epoch: u64,
+
+    cand_buf: Vec<PrefetchCandidate>,
+    l2_buf: Vec<u64>,
+
+    /// Core statistics.
+    pub stats: CoreStats,
+    /// Prefetch-issue statistics.
+    pub pstats: PrefetchStats,
+}
+
+impl CoreEngine {
+    /// Creates an engine for `core_id` with the given prefetcher and
+    /// page-cross policy.
+    pub fn new(
+        core_id: usize,
+        cfg: CoreConfig,
+        boundary: BoundaryMode,
+        prefetcher: Box<dyn L1dPrefetcher>,
+        policy: Box<dyn PgcPolicy>,
+        l2_prefetcher: Option<Box<dyn L2Prefetcher>>,
+    ) -> Self {
+        Self {
+            cfg,
+            boundary,
+            core_id,
+            cycle: 0,
+            cycle_base: 0,
+            issued_this_cycle: 0,
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            last_completion: 0,
+            prev_load_completion: 0,
+            last_fetch_line: u64::MAX,
+            fetch_ready: 0,
+            fetch_stall_until: 0,
+            bp: BranchPredictor::new(),
+            l1i_prefetcher: FnlMma::default(),
+            l1i_buf: Vec::with_capacity(4),
+            prefetcher,
+            policy,
+            l2_prefetcher,
+            va_hist: [0; 3],
+            pc_hist: [0; 3],
+            delta_hist: [0; 3],
+            last_line: 0,
+            touched_pages: HashSet::new(),
+            epoch_base: CounterBase::default(),
+            snapshot: SystemSnapshot::default(),
+            instrs_since_spot: 0,
+            instrs_since_epoch: 0,
+            cand_buf: Vec::with_capacity(16),
+            l2_buf: Vec::with_capacity(8),
+            stats: CoreStats::default(),
+            pstats: PrefetchStats::default(),
+        }
+    }
+
+    /// Current cycle (used by the multi-core scheduler to interleave cores).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Retired instructions so far.
+    pub fn instructions(&self) -> u64 {
+        self.stats.instructions
+    }
+
+    /// The active policy (stats access for reports).
+    pub fn policy(&self) -> &dyn PgcPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Finalises cycle accounting: the run's cycle count is the completion
+    /// time of the last retiring instruction, measured from the end of
+    /// warm-up.
+    pub fn finish(&mut self) {
+        self.stats.cycles = self.last_completion.max(self.cycle) - self.cycle_base;
+    }
+
+    /// Resets all statistics (end of warm-up) without touching learned
+    /// microarchitectural state.
+    pub fn reset_stats(&mut self, mem: &MemorySystem) {
+        self.stats = CoreStats::default();
+        self.pstats = PrefetchStats::default();
+        // Rebase windows so the first measured epoch starts clean.
+        self.epoch_base = self.capture(mem);
+        // Rebase cycle accounting at the current cycle: measured cycles
+        // count from here.
+        let start = self.cycle;
+        self.cycle_base = start;
+        self.last_completion = self.last_completion.max(start);
+    }
+
+    fn capture(&self, mem: &MemorySystem) -> CounterBase {
+        let c = mem.core(self.core_id);
+        CounterBase {
+            instructions: self.stats.instructions,
+            cycles: self.cycle,
+            l1d_acc: c.l1d.stats.demand_accesses,
+            l1d_miss: c.l1d.stats.demand_misses,
+            l1i_miss: c.l1i.stats.demand_misses,
+            llc_acc: mem.llc.stats.demand_accesses,
+            llc_miss: mem.llc.stats.demand_misses,
+            stlb_acc: c.stlb.stats.accesses,
+            stlb_miss: c.stlb.stats.misses,
+            pgc_useful: c.l1d.stats.pgc_useful,
+            pgc_useless: c.l1d.stats.pgc_useless,
+        }
+    }
+
+    fn refresh_snapshot(&mut self, mem: &mut MemorySystem) {
+        let now = self.capture(mem);
+        let b = &self.epoch_base;
+        let instrs = (now.instructions - b.instructions).max(1) as f64;
+        let kilo = instrs / 1000.0;
+        let rate = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        self.snapshot = SystemSnapshot {
+            l1d_mpki: (now.l1d_miss - b.l1d_miss) as f64 / kilo,
+            l1d_miss_rate: rate(now.l1d_miss - b.l1d_miss, now.l1d_acc - b.l1d_acc),
+            llc_mpki: (now.llc_miss - b.llc_miss) as f64 / kilo,
+            llc_miss_rate: rate(now.llc_miss - b.llc_miss, now.llc_acc - b.llc_acc),
+            stlb_mpki: (now.stlb_miss - b.stlb_miss) as f64 / kilo,
+            stlb_miss_rate: rate(now.stlb_miss - b.stlb_miss, now.stlb_acc - b.stlb_acc),
+            l1i_mpki: (now.l1i_miss - b.l1i_miss) as f64 / kilo,
+            ipc: rate(now.instructions - b.instructions, (now.cycles - b.cycles).max(1)),
+            rob_occupancy: self.rob.len() as f64 / self.cfg.rob_size as f64,
+            inflight_l1d_misses: mem.l1d_demand_mshr_occupancy(self.core_id, self.cycle),
+            pgc_useful: now.pgc_useful - b.pgc_useful,
+            pgc_useless: now.pgc_useless - b.pgc_useless,
+        };
+    }
+
+    fn handle_eviction(&mut self, ev: &Eviction) {
+        if ev.pcb {
+            self.policy.on_pcb_eviction(ev.line.raw(), ev.hits > 0);
+        }
+    }
+
+    /// Routes one prefetch candidate per Fig. 5: in-page candidates issue
+    /// directly; page-cross candidates consult the policy.
+    fn route_candidate(
+        &mut self,
+        mem: &mut MemorySystem,
+        cand: PrefetchCandidate,
+        trigger_page: PageSize,
+        at_cycle: u64,
+    ) {
+        self.pstats.candidates += 1;
+        let crosses = match self.boundary {
+            BoundaryMode::Fixed4K => cand.crosses_page_4k(),
+            BoundaryMode::PageSizeAware => match trigger_page {
+                PageSize::Huge2M => cand.crosses_page_2m(),
+                PageSize::Base4K => cand.crosses_page_4k(),
+            },
+        };
+
+        if !crosses {
+            let r = mem.issue_prefetch(self.core_id, cand.target, false, at_cycle, true);
+            if r.issued {
+                self.pstats.inpage_issued += 1;
+                if let Some(ev) = r.l1d_eviction {
+                    self.handle_eviction(&ev);
+                }
+            } else if r.redundant {
+                self.pstats.redundant += 1;
+            }
+            return;
+        }
+
+        self.pstats.pgc_candidates += 1;
+        let ctx = FeatureContext {
+            pc: cand.pc,
+            va: cand.trigger.raw(),
+            target_va: cand.target.raw(),
+            delta: cand.delta,
+            first_page_access: cand.first_page_access,
+            va_hist: self.va_hist,
+            pc_hist: self.pc_hist,
+            delta_hist: self.delta_hist,
+        };
+        match self.policy.decide(&cand, &ctx, &self.snapshot) {
+            PolicyAction::Discard => {
+                self.pstats.pgc_discarded += 1;
+            }
+            PolicyAction::Issue { allow_walk } => {
+                let r = mem.issue_prefetch(self.core_id, cand.target, true, at_cycle, allow_walk);
+                if r.walked {
+                    self.pstats.speculative_walks += 1;
+                }
+                if r.issued {
+                    self.pstats.pgc_issued += 1;
+                    let line = r.paddr.expect("issued prefetch has a PA").line().raw();
+                    self.policy.on_issued(line);
+                    if let Some(ev) = r.l1d_eviction {
+                        self.handle_eviction(&ev);
+                    }
+                } else {
+                    if r.redundant {
+                        self.pstats.redundant += 1;
+                    }
+                    self.policy.on_issue_dropped();
+                }
+            }
+        }
+    }
+
+    fn demand_access(&mut self, mem: &mut MemorySystem, pc: u64, va: VirtAddr, is_store: bool, start: u64) -> u64 {
+        let d = mem.demand_data(self.core_id, va, is_store, start);
+
+        // Filter training events (Fig. 7).
+        if !d.l1d_hit {
+            self.policy.on_l1d_demand_miss(va.line().raw());
+        } else if d.first_hit_on_prefetch && d.hit_pcb {
+            self.policy.on_pcb_first_hit(d.paddr.line().raw());
+        }
+        if let Some(ev) = d.l1d_eviction {
+            self.handle_eviction(&ev);
+        }
+
+        // Optional L2C prefetcher (physical space, in-page only).
+        if let (Some(l2pf), Some((pa, l2_hit))) = (&mut self.l2_prefetcher, d.l2_access) {
+            self.l2_buf.clear();
+            l2pf.on_access(pc, pa.raw(), l2_hit, &mut self.l2_buf);
+            let targets = std::mem::take(&mut self.l2_buf);
+            for t in &targets {
+                mem.issue_l2_prefetch(self.core_id, PhysAddr::new(*t), start);
+            }
+            self.l2_buf = targets;
+        }
+
+        // First touch to the page?
+        let fpa = self.touched_pages.insert(va.page_4k().raw());
+
+        // Train the L1D prefetcher and collect candidates.
+        let info =
+            AccessInfo { pc, va, hit: d.l1d_hit, cycle: start, first_page_access: fpa };
+        self.cand_buf.clear();
+        self.prefetcher.on_access(&info, &mut self.cand_buf);
+        // The fill completion trains timeliness-aware prefetchers (Berti);
+        // it must follow on_access so the pending miss is registered.
+        if !d.l1d_hit {
+            self.prefetcher.on_fill(va, d.ready);
+        }
+        let cands = std::mem::take(&mut self.cand_buf);
+        for cand in &cands {
+            self.route_candidate(mem, *cand, d.page_size, start);
+        }
+        self.cand_buf = cands;
+
+        // Histories for the feature context.
+        let line = va.line().raw() as i64;
+        let delta = if self.last_line != 0 { line - self.last_line } else { 0 };
+        self.last_line = line;
+        self.va_hist = [va.raw(), self.va_hist[0], self.va_hist[1]];
+        self.pc_hist = [pc, self.pc_hist[0], self.pc_hist[1]];
+        self.delta_hist = [delta, self.delta_hist[0], self.delta_hist[1]];
+
+        d.ready
+    }
+
+    /// Executes one instruction, advancing the core's clock.
+    pub fn step(&mut self, mem: &mut MemorySystem, instr: &Instr) {
+        // Issue-width pacing.
+        if self.issued_this_cycle >= self.cfg.issue_width {
+            self.cycle += 1;
+            self.issued_this_cycle = 0;
+        }
+        // ROB-full stall: wait for the head to retire.
+        while self.rob.len() >= self.cfg.rob_size {
+            let head = self.rob.pop_front().expect("rob nonempty");
+            if head > self.cycle {
+                self.cycle = head;
+                self.issued_this_cycle = 0;
+            }
+        }
+        // Opportunistic head retirement keeps the ROB tracking real
+        // occupancy for the snapshot.
+        while let Some(&head) = self.rob.front() {
+            if head <= self.cycle {
+                self.rob.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Front-end: branch-redirect bubbles and I-fetch.
+        if self.fetch_stall_until > self.cycle {
+            self.cycle = self.fetch_stall_until;
+            self.issued_this_cycle = 0;
+        }
+        let pc_line = instr.pc >> 6;
+        if pc_line != self.last_fetch_line {
+            let f = mem.fetch_instr(self.core_id, VirtAddr::new(instr.pc), self.cycle);
+            self.last_fetch_line = pc_line;
+            // Decoupled front-end: the fetch unit runs ahead, so only part
+            // of a miss is exposed; model as the full latency minus the
+            // L1I hit latency already hidden.
+            self.fetch_ready = f.ready.saturating_sub(mem.config().l1i.latency);
+            // L1I prefetching (fnl+mma, Table IV).
+            self.l1i_buf.clear();
+            self.l1i_prefetcher.on_fetch(pc_line, f.l1i_hit, &mut self.l1i_buf);
+            let targets = std::mem::take(&mut self.l1i_buf);
+            for t in &targets {
+                mem.issue_l1i_prefetch(self.core_id, VirtAddr::new(t << 6), self.cycle);
+            }
+            self.l1i_buf = targets;
+        }
+        if self.fetch_ready > self.cycle {
+            self.cycle = self.fetch_ready;
+            self.issued_this_cycle = 0;
+        }
+
+        let dispatch = self.cycle;
+        let completion = match instr.op {
+            Op::Alu => dispatch + 1,
+            Op::Branch { taken } => {
+                self.stats.branches += 1;
+                self.bp.predict(instr.pc);
+                let mis = self.bp.update(instr.pc, taken);
+                let done = dispatch + 1;
+                if mis {
+                    self.stats.branch_mispredicts += 1;
+                    self.fetch_stall_until = done + self.cfg.mispredict_penalty;
+                }
+                done
+            }
+            Op::Load { va, depends_on_prev } => {
+                self.stats.loads += 1;
+                let start = if depends_on_prev {
+                    dispatch.max(self.prev_load_completion)
+                } else {
+                    dispatch
+                };
+                let ready = self.demand_access(mem, instr.pc, va, false, start);
+                self.prev_load_completion = ready;
+                ready
+            }
+            Op::Store { va } => {
+                self.stats.stores += 1;
+                self.demand_access(mem, instr.pc, va, true, dispatch);
+                dispatch + 1 // stores retire via the store buffer
+            }
+        };
+
+        self.rob.push_back(completion);
+        self.last_completion = self.last_completion.max(completion);
+        self.issued_this_cycle += 1;
+        self.stats.instructions += 1;
+
+        // Epoch machinery.
+        self.instrs_since_spot += 1;
+        self.instrs_since_epoch += 1;
+        if self.instrs_since_spot >= self.cfg.spot_interval {
+            self.instrs_since_spot = 0;
+            self.refresh_snapshot(mem);
+            let snap = self.snapshot;
+            self.policy.spot_check(&snap);
+        }
+        if self.instrs_since_epoch >= self.cfg.epoch_instrs {
+            self.instrs_since_epoch = 0;
+            self.refresh_snapshot(mem);
+            let snap = self.snapshot;
+            self.policy.end_epoch(&snap);
+            self.epoch_base = self.capture(mem);
+        }
+    }
+}

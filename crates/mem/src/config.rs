@@ -1,0 +1,156 @@
+//! Memory-hierarchy configuration with the paper's Table IV defaults.
+
+/// Geometry and timing of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Access latency in cycles (added on hit; accumulated on the miss path).
+    pub latency: u64,
+    /// Number of MSHR entries.
+    pub mshr_entries: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by size/ways and a 64 B line.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * pagecross_types::LINE_SIZE)
+    }
+}
+
+/// Geometry and timing of one TLB level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Access latency in cycles.
+    pub latency: u64,
+}
+
+impl TlbConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.entries / self.ways
+    }
+}
+
+/// Page-structure cache sizes per radix level (paper: split PSC,
+/// L5: 1, L4: 2, L3: 8, L2: 32 entries, 1-cycle parallel lookup).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PscConfig {
+    /// Entries caching PML5-level results.
+    pub l5_entries: u32,
+    /// Entries caching PML4-level results.
+    pub l4_entries: u32,
+    /// Entries caching PDPT-level results.
+    pub l3_entries: u32,
+    /// Entries caching PD-level results.
+    pub l2_entries: u32,
+}
+
+/// DRAM timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Baseline access latency in cycles.
+    pub latency: u64,
+    /// Minimum cycles between successive transfers on one channel
+    /// (models 3200 MT/s bandwidth at 4 GHz).
+    pub cycles_per_transfer: u64,
+    /// Number of independent channels.
+    pub channels: u32,
+    /// Physical memory capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+/// Complete memory-system configuration (Table IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemConfig {
+    /// First-level instruction cache (32 KB, 8-way, 4-cycle).
+    pub l1i: CacheConfig,
+    /// First-level data cache (48 KB, 12-way, 5-cycle, VIPT).
+    pub l1d: CacheConfig,
+    /// Second-level cache (512 KB, 8-way, 10-cycle).
+    pub l2c: CacheConfig,
+    /// Last-level cache (2 MB/core, 16-way, 20-cycle).
+    pub llc: CacheConfig,
+    /// First-level data TLB (64-entry, 4-way, 1-cycle).
+    pub dtlb: TlbConfig,
+    /// First-level instruction TLB (64-entry, 4-way, 1-cycle).
+    pub itlb: TlbConfig,
+    /// Last-level TLB (1536-entry, 12-way, 8-cycle).
+    pub stlb: TlbConfig,
+    /// Split page-structure caches.
+    pub psc: PscConfig,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Latency charged per page-table level access that the walker resolves
+    /// from the PSC (1-cycle parallel search).
+    pub psc_latency: u64,
+}
+
+impl MemConfig {
+    /// Table IV configuration for an `n_cores`-core system. The LLC scales
+    /// to 2 MB per core and DRAM capacity to 4 GB (1-core) / 16 GB (8-core).
+    pub fn table_iv(n_cores: u32) -> Self {
+        Self {
+            l1i: CacheConfig { size_bytes: 32 << 10, ways: 8, latency: 4, mshr_entries: 8 },
+            l1d: CacheConfig { size_bytes: 48 << 10, ways: 12, latency: 5, mshr_entries: 16 },
+            l2c: CacheConfig { size_bytes: 512 << 10, ways: 8, latency: 10, mshr_entries: 32 },
+            llc: CacheConfig {
+                size_bytes: (2u64 << 20) * n_cores as u64,
+                ways: 16,
+                latency: 20,
+                mshr_entries: 64,
+            },
+            dtlb: TlbConfig { entries: 64, ways: 4, latency: 1 },
+            itlb: TlbConfig { entries: 64, ways: 4, latency: 1 },
+            stlb: TlbConfig { entries: 1536, ways: 12, latency: 8 },
+            psc: PscConfig { l5_entries: 1, l4_entries: 2, l3_entries: 8, l2_entries: 32 },
+            dram: DramConfig {
+                latency: 160,
+                cycles_per_transfer: 10,
+                channels: if n_cores > 1 { 4 } else { 2 },
+                capacity_bytes: if n_cores > 1 { 16u64 << 30 } else { 4u64 << 30 },
+            },
+            psc_latency: 1,
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self::table_iv(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_geometry() {
+        let c = MemConfig::table_iv(1);
+        assert_eq!(c.l1d.sets(), 64); // 48KB / (12 * 64B)
+        assert_eq!(c.l1i.sets(), 64);
+        assert_eq!(c.l2c.sets(), 1024);
+        assert_eq!(c.llc.sets(), 2048);
+        assert_eq!(c.dtlb.sets(), 16);
+        assert_eq!(c.stlb.sets(), 128);
+    }
+
+    #[test]
+    fn llc_scales_with_cores() {
+        let c8 = MemConfig::table_iv(8);
+        assert_eq!(c8.llc.size_bytes, 16u64 << 20);
+        assert_eq!(c8.dram.capacity_bytes, 16u64 << 30);
+    }
+
+    #[test]
+    fn default_is_single_core() {
+        assert_eq!(MemConfig::default(), MemConfig::table_iv(1));
+    }
+}

@@ -1,0 +1,270 @@
+//! Translation Lookaside Buffers.
+//!
+//! The hierarchy follows Table IV: a small first-level data TLB (dTLB) and
+//! instruction TLB (iTLB), backed by a shared last-level TLB (sTLB). Entries
+//! are page-size aware (4 KB / 2 MB) — a lookup probes both granularities,
+//! matching the paper's §V-B6 large-page methodology. Translations brought
+//! in by page-cross prefetch walks are installed in both dTLB and sTLB
+//! ("translations brought by page-cross prefetches are stored in both dTLB
+//! and sTLB structures", §II-C).
+
+use crate::config::TlbConfig;
+use pagecross_types::{PageSize, TlbStats, VirtAddr};
+
+/// One translation: virtual page -> physical frame at a given page size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Translation {
+    /// Virtual page number at the granularity of `size`.
+    pub vpn: u64,
+    /// Physical frame number at the granularity of `size`.
+    pub pfn: u64,
+    /// Page size of the mapping.
+    pub size: PageSize,
+}
+
+impl Translation {
+    /// Translates a virtual address under this mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `va` does not lie on this page.
+    pub fn apply(&self, va: VirtAddr) -> u64 {
+        let shift = self.size.shift();
+        debug_assert_eq!(va.raw() >> shift, self.vpn, "address not covered by translation");
+        (self.pfn << shift) | (va.raw() & (self.size.bytes() - 1))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TlbEntry {
+    valid: bool,
+    vpn: u64,
+    pfn: u64,
+    size: PageSize,
+    lru: u64,
+}
+
+const INVALID_ENTRY: TlbEntry =
+    TlbEntry { valid: false, vpn: 0, pfn: 0, size: PageSize::Base4K, lru: 0 };
+
+/// A set-associative, page-size-aware TLB.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    name: &'static str,
+    sets: u64,
+    ways: usize,
+    entries: Vec<TlbEntry>,
+    tick: u64,
+    /// Aggregate statistics.
+    pub stats: TlbStats,
+}
+
+impl Tlb {
+    /// Builds a TLB from a [`TlbConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured set count is not a power of two.
+    pub fn new(name: &'static str, cfg: TlbConfig) -> Self {
+        let sets = cfg.sets() as u64;
+        assert!(sets > 0 && sets.is_power_of_two(), "{name}: TLB sets must be a power of two");
+        Self {
+            name,
+            sets,
+            ways: cfg.ways as usize,
+            entries: vec![INVALID_ENTRY; (sets * cfg.ways as u64) as usize],
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// TLB name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn set_range(&self, vpn: u64) -> std::ops::Range<usize> {
+        let set = (vpn & (self.sets - 1)) as usize;
+        let base = set * self.ways;
+        base..base + self.ways
+    }
+
+    fn find(&mut self, va: VirtAddr, touch: bool) -> Option<Translation> {
+        self.tick += 1;
+        let tick = self.tick;
+        for size in [PageSize::Base4K, PageSize::Huge2M] {
+            let vpn = va.raw() >> size.shift();
+            let range = self.set_range(vpn);
+            for e in &mut self.entries[range] {
+                if e.valid && e.size == size && e.vpn == vpn {
+                    if touch {
+                        e.lru = tick;
+                    }
+                    return Some(Translation { vpn: e.vpn, pfn: e.pfn, size: e.size });
+                }
+            }
+        }
+        None
+    }
+
+    /// Demand lookup: counts toward demand accesses/misses and updates LRU.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<Translation> {
+        self.stats.accesses += 1;
+        let t = self.find(va, true);
+        if t.is_none() {
+            self.stats.misses += 1;
+        }
+        t
+    }
+
+    /// Prefetch-side probe: counted separately, still updates LRU on hit
+    /// (the hardware port is shared).
+    pub fn prefetch_probe(&mut self, va: VirtAddr) -> Option<Translation> {
+        self.stats.prefetch_probes += 1;
+        let t = self.find(va, true);
+        if t.is_none() {
+            self.stats.prefetch_probe_misses += 1;
+        }
+        t
+    }
+
+    /// Checks presence without LRU or statistics side effects.
+    pub fn peek(&self, va: VirtAddr) -> bool {
+        for size in [PageSize::Base4K, PageSize::Huge2M] {
+            let vpn = va.raw() >> size.shift();
+            let range = self.set_range(vpn);
+            if self.entries[range].iter().any(|e| e.valid && e.size == size && e.vpn == vpn) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Installs a translation (LRU replacement within its set). Setting
+    /// `from_prefetch` attributes the fill to a page-cross prefetch walk.
+    pub fn fill(&mut self, t: Translation, from_prefetch: bool) {
+        self.tick += 1;
+        if from_prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+        let tick = self.tick;
+        let range = self.set_range(t.vpn);
+        // Refresh if present.
+        if let Some(e) = self.entries[range.clone()]
+            .iter_mut()
+            .find(|e| e.valid && e.size == t.size && e.vpn == t.vpn)
+        {
+            e.lru = tick;
+            e.pfn = t.pfn;
+            return;
+        }
+        let slot = if let Some(free) = self.entries[range.clone()].iter_mut().find(|e| !e.valid) {
+            free
+        } else {
+            self.entries[range].iter_mut().min_by_key(|e| e.lru).expect("nonempty set")
+        };
+        *slot = TlbEntry { valid: true, vpn: t.vpn, pfn: t.pfn, size: t.size, lru: tick };
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new("tiny", TlbConfig { entries: 8, ways: 2, latency: 1 })
+    }
+
+    fn map4k(vpn: u64, pfn: u64) -> Translation {
+        Translation { vpn, pfn, size: PageSize::Base4K }
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut t = tiny();
+        let va = VirtAddr::new(0x5000);
+        assert!(t.lookup(va).is_none());
+        t.fill(map4k(5, 99), false);
+        let tr = t.lookup(va).unwrap();
+        assert_eq!(tr.pfn, 99);
+        assert_eq!(t.stats.accesses, 2);
+        assert_eq!(t.stats.misses, 1);
+    }
+
+    #[test]
+    fn translation_apply_4k() {
+        let tr = map4k(5, 99);
+        assert_eq!(tr.apply(VirtAddr::new(0x5123)), (99 << 12) | 0x123);
+    }
+
+    #[test]
+    fn translation_apply_2m() {
+        let tr = Translation { vpn: 3, pfn: 7, size: PageSize::Huge2M };
+        let va = VirtAddr::new((3 << 21) | 0x12345);
+        assert_eq!(tr.apply(va), (7 << 21) | 0x12345);
+    }
+
+    #[test]
+    fn huge_page_hit() {
+        let mut t = tiny();
+        t.fill(Translation { vpn: 2, pfn: 11, size: PageSize::Huge2M }, false);
+        // Any 4K page inside huge page 2 must hit.
+        let va = VirtAddr::new((2u64 << 21) + 0x3000);
+        let tr = t.lookup(va).unwrap();
+        assert_eq!(tr.size, PageSize::Huge2M);
+        assert_eq!(tr.pfn, 11);
+    }
+
+    #[test]
+    fn lru_replacement_within_set() {
+        let mut t = tiny(); // 4 sets x 2 ways
+        // VPNs 0, 4, 8 share set 0.
+        t.fill(map4k(0, 1), false);
+        t.fill(map4k(4, 2), false);
+        t.lookup(VirtAddr::new(0)); // touch vpn 0 -> vpn 4 is LRU
+        t.fill(map4k(8, 3), false);
+        assert!(t.peek(VirtAddr::new(0)));
+        assert!(!t.peek(VirtAddr::new(4 << 12)));
+        assert!(t.peek(VirtAddr::new(8 << 12)));
+    }
+
+    #[test]
+    fn prefetch_probe_counted_separately() {
+        let mut t = tiny();
+        t.prefetch_probe(VirtAddr::new(0x9000));
+        assert_eq!(t.stats.accesses, 0);
+        assert_eq!(t.stats.prefetch_probes, 1);
+        assert_eq!(t.stats.prefetch_probe_misses, 1);
+    }
+
+    #[test]
+    fn prefetch_fill_attributed() {
+        let mut t = tiny();
+        t.fill(map4k(1, 1), true);
+        assert_eq!(t.stats.prefetch_fills, 1);
+    }
+
+    #[test]
+    fn refill_refreshes_not_duplicates() {
+        let mut t = tiny();
+        t.fill(map4k(1, 1), false);
+        t.fill(map4k(1, 2), false);
+        assert_eq!(t.occupancy(), 1);
+        assert_eq!(t.lookup(VirtAddr::new(0x1000)).unwrap().pfn, 2);
+    }
+
+    #[test]
+    fn peek_has_no_side_effects() {
+        let mut t = tiny();
+        t.fill(map4k(1, 1), false);
+        let before = t.stats;
+        assert!(t.peek(VirtAddr::new(0x1000)));
+        assert!(!t.peek(VirtAddr::new(0x2000)));
+        assert_eq!(t.stats, before);
+    }
+}

@@ -1,0 +1,314 @@
+//! Virtual-memory model: on-demand VPN→PFN mapping with 4 KB and 2 MB pages.
+//!
+//! Physical frames are handed out by a [`FrameAllocator`] shared by every
+//! core (so multi-core mixes contend for the same physical space, as in
+//! ChampSim), with deterministic pseudo-random placement so that virtual
+//! contiguity does *not* imply physical contiguity — the property that makes
+//! page-cross prefetching in the virtual space interesting in the first
+//! place (§II-A1).
+//!
+//! The physical space is partitioned to keep the model simple and
+//! collision-free: the lower region holds 4 KB data frames, a middle region
+//! holds 2 MB data frames, and the top region holds page-table node frames.
+
+use pagecross_types::{PageSize, Rng64, VirtAddr, HUGE_PAGE_SHIFT_2M, PAGE_SHIFT_4K};
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use crate::tlb::Translation;
+
+/// Decides which virtual regions are backed by 2 MB pages, following the
+/// methodology of "Page Size Aware Cache Prefetching" (MICRO'22, the paper’s reference \[89\]) where
+/// a fraction of eligible regions is promoted to large pages.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum HugePagePolicy {
+    /// All mappings use 4 KB pages (the paper's main campaign).
+    #[default]
+    None,
+    /// Each aligned 2 MB virtual region is independently promoted to a huge
+    /// page with this probability (deterministic per region given the seed).
+    Fraction(f64),
+    /// All mappings use 2 MB pages.
+    All,
+}
+
+/// Shared physical-frame allocator.
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    rng: Rng64,
+    total_4k_frames: u64,
+    huge_region_base: u64,
+    huge_frames: u64,
+    pt_region_base: u64,
+    next_pt_frame: u64,
+    used_4k: HashSet<u64>,
+    used_2m: HashSet<u64>,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator over `capacity_bytes` of physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is smaller than 64 MB (too small to partition).
+    pub fn new(capacity_bytes: u64, seed: u64) -> Self {
+        assert!(capacity_bytes >= 64 << 20, "physical memory too small");
+        let total_frames = capacity_bytes >> PAGE_SHIFT_4K;
+        // 1/2 for 4K data, 3/8 for 2M data, 1/8 for page-table nodes.
+        let base_4k_frames = total_frames / 2;
+        let huge_region_base = base_4k_frames;
+        let huge_bytes = capacity_bytes * 3 / 8;
+        let huge_frames = huge_bytes >> HUGE_PAGE_SHIFT_2M;
+        let pt_region_base = total_frames - total_frames / 8;
+        Self {
+            rng: Rng64::new(seed ^ 0x5EED_F4A3),
+            total_4k_frames: base_4k_frames,
+            huge_region_base,
+            huge_frames,
+            pt_region_base,
+            next_pt_frame: pt_region_base,
+            used_4k: HashSet::new(),
+            used_2m: HashSet::new(),
+        }
+    }
+
+    /// Allocates a random free 4 KB frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if physical memory is exhausted.
+    pub fn alloc_4k(&mut self) -> u64 {
+        assert!(
+            (self.used_4k.len() as u64) < self.total_4k_frames,
+            "out of 4KB physical frames"
+        );
+        loop {
+            let pfn = self.rng.below(self.total_4k_frames);
+            if self.used_4k.insert(pfn) {
+                return pfn;
+            }
+        }
+    }
+
+    /// Allocates a random free 2 MB frame; returns its 2 MB frame number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the huge-frame region is exhausted.
+    pub fn alloc_2m(&mut self) -> u64 {
+        assert!((self.used_2m.len() as u64) < self.huge_frames, "out of 2MB physical frames");
+        let base_2m = self.huge_region_base >> (HUGE_PAGE_SHIFT_2M - PAGE_SHIFT_4K);
+        loop {
+            let pfn2m = base_2m + self.rng.below(self.huge_frames);
+            if self.used_2m.insert(pfn2m) {
+                return pfn2m;
+            }
+        }
+    }
+
+    /// Allocates a sequential page-table node frame (4 KB).
+    pub fn alloc_pt_node(&mut self) -> u64 {
+        let f = self.next_pt_frame;
+        self.next_pt_frame += 1;
+        f
+    }
+
+    /// Frames handed out so far (diagnostics).
+    pub fn allocated_frames(&self) -> u64 {
+        self.used_4k.len() as u64
+            + self.used_2m.len() as u64
+            + (self.next_pt_frame - self.pt_region_base)
+    }
+}
+
+/// Per-address-space virtual memory: lazily maps pages on first touch.
+#[derive(Clone, Debug)]
+pub struct Vmem {
+    policy: HugePagePolicy,
+    rng: Rng64,
+    map_4k: HashMap<u64, u64>,
+    map_2m: HashMap<u64, u64>,
+    /// Cached promotion decision per 2 MB virtual region.
+    region_is_huge: HashMap<u64, bool>,
+}
+
+impl Vmem {
+    /// Creates an address space with the given huge-page policy.
+    pub fn new(policy: HugePagePolicy, seed: u64) -> Self {
+        Self {
+            policy,
+            rng: Rng64::new(seed ^ 0x7A6E_5141),
+            map_4k: HashMap::new(),
+            map_2m: HashMap::new(),
+            region_is_huge: HashMap::new(),
+        }
+    }
+
+    /// The huge-page policy in force.
+    pub fn policy(&self) -> &HugePagePolicy {
+        &self.policy
+    }
+
+    fn region_huge(&mut self, vpn2m: u64) -> bool {
+        match self.policy {
+            HugePagePolicy::None => false,
+            HugePagePolicy::All => true,
+            HugePagePolicy::Fraction(p) => {
+                let rng = &mut self.rng;
+                *self
+                    .region_is_huge
+                    .entry(vpn2m)
+                    .or_insert_with(|| {
+                        let mut r = Rng64::new(rng.next_u64() ^ vpn2m.rotate_left(17));
+                        r.chance(p)
+                    })
+            }
+        }
+    }
+
+    /// Returns whether `va` already has a mapping (no allocation).
+    pub fn is_mapped(&self, va: VirtAddr) -> bool {
+        self.map_2m.contains_key(&va.page_2m().raw()) || self.map_4k.contains_key(&va.page_4k().raw())
+    }
+
+    /// Returns the page size backing `va`, allocating the mapping on first
+    /// touch. Use [`Vmem::translate`] to get the full translation.
+    pub fn page_size(&mut self, va: VirtAddr, frames: &mut FrameAllocator) -> PageSize {
+        self.translate(va, frames).size
+    }
+
+    /// Translates `va`, allocating a frame on first touch.
+    pub fn translate(&mut self, va: VirtAddr, frames: &mut FrameAllocator) -> Translation {
+        let vpn2m = va.page_2m().raw();
+        if let Some(&pfn) = self.map_2m.get(&vpn2m) {
+            return Translation { vpn: vpn2m, pfn, size: PageSize::Huge2M };
+        }
+        let vpn4k = va.page_4k().raw();
+        if let Some(&pfn) = self.map_4k.get(&vpn4k) {
+            return Translation { vpn: vpn4k, pfn, size: PageSize::Base4K };
+        }
+        if self.region_huge(vpn2m) {
+            let pfn = frames.alloc_2m();
+            self.map_2m.insert(vpn2m, pfn);
+            Translation { vpn: vpn2m, pfn, size: PageSize::Huge2M }
+        } else {
+            let pfn = frames.alloc_4k();
+            self.map_4k.insert(vpn4k, pfn);
+            Translation { vpn: vpn4k, pfn, size: PageSize::Base4K }
+        }
+    }
+
+    /// Number of mapped 4 KB pages.
+    pub fn mapped_4k(&self) -> usize {
+        self.map_4k.len()
+    }
+
+    /// Number of mapped 2 MB pages.
+    pub fn mapped_2m(&self) -> usize {
+        self.map_2m.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(policy: HugePagePolicy) -> (Vmem, FrameAllocator) {
+        (Vmem::new(policy, 1), FrameAllocator::new(4u64 << 30, 2))
+    }
+
+    #[test]
+    fn mapping_is_stable() {
+        let (mut vm, mut fa) = setup(HugePagePolicy::None);
+        let va = VirtAddr::new(0x1234_5678);
+        let t1 = vm.translate(va, &mut fa);
+        let t2 = vm.translate(va, &mut fa);
+        assert_eq!(t1, t2);
+        assert_eq!(vm.mapped_4k(), 1);
+    }
+
+    #[test]
+    fn same_page_same_frame_different_pages_differ() {
+        let (mut vm, mut fa) = setup(HugePagePolicy::None);
+        let a = vm.translate(VirtAddr::new(0x1000), &mut fa);
+        let b = vm.translate(VirtAddr::new(0x1FFF), &mut fa);
+        let c = vm.translate(VirtAddr::new(0x2000), &mut fa);
+        assert_eq!(a.pfn, b.pfn);
+        assert_ne!(a.pfn, c.pfn);
+    }
+
+    #[test]
+    fn virtual_contiguity_not_physical() {
+        let (mut vm, mut fa) = setup(HugePagePolicy::None);
+        let mut contiguous = 0;
+        let mut prev = vm.translate(VirtAddr::new(0), &mut fa).pfn;
+        for p in 1..64u64 {
+            let pfn = vm.translate(VirtAddr::new(p << 12), &mut fa).pfn;
+            if pfn == prev + 1 {
+                contiguous += 1;
+            }
+            prev = pfn;
+        }
+        assert!(contiguous < 8, "random placement should rarely be contiguous");
+    }
+
+    #[test]
+    fn all_huge_policy_maps_2m() {
+        let (mut vm, mut fa) = setup(HugePagePolicy::All);
+        let t = vm.translate(VirtAddr::new(0x40_0000), &mut fa);
+        assert_eq!(t.size, PageSize::Huge2M);
+        assert_eq!(vm.mapped_2m(), 1);
+        // A different 4K page inside the same 2M region reuses the mapping.
+        let t2 = vm.translate(VirtAddr::new(0x40_0000 + 0x3000), &mut fa);
+        assert_eq!(t2.pfn, t.pfn);
+        assert_eq!(vm.mapped_2m(), 1);
+    }
+
+    #[test]
+    fn fraction_policy_is_deterministic_per_region() {
+        let (mut vm, mut fa) = setup(HugePagePolicy::Fraction(0.5));
+        let va = VirtAddr::new(7 << 21);
+        let s1 = vm.translate(va, &mut fa).size;
+        let s2 = vm.translate(va, &mut fa).size;
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn fraction_policy_mixes_sizes() {
+        let (mut vm, mut fa) = setup(HugePagePolicy::Fraction(0.5));
+        for r in 0..64u64 {
+            vm.translate(VirtAddr::new(r << 21), &mut fa);
+        }
+        assert!(vm.mapped_2m() > 0, "some regions must be huge");
+        assert!(vm.mapped_4k() > 0, "some regions must be base pages");
+    }
+
+    #[test]
+    fn pt_nodes_are_sequential_and_disjoint_from_data() {
+        let mut fa = FrameAllocator::new(4u64 << 30, 3);
+        let n1 = fa.alloc_pt_node();
+        let n2 = fa.alloc_pt_node();
+        assert_eq!(n2, n1 + 1);
+        let d = fa.alloc_4k();
+        assert!(d < n1, "data frames live below page-table frames");
+    }
+
+    #[test]
+    fn huge_frames_disjoint_from_4k_frames() {
+        let mut fa = FrameAllocator::new(4u64 << 30, 4);
+        let pfn2m = fa.alloc_2m();
+        // The 2M frame expressed in 4K frame numbers starts above the 4K region.
+        let as_4k = pfn2m << (HUGE_PAGE_SHIFT_2M - PAGE_SHIFT_4K);
+        let limit_4k = (4u64 << 30 >> PAGE_SHIFT_4K) / 2;
+        assert!(as_4k >= limit_4k);
+    }
+
+    #[test]
+    fn is_mapped_reflects_touch() {
+        let (mut vm, mut fa) = setup(HugePagePolicy::None);
+        let va = VirtAddr::new(0x8000);
+        assert!(!vm.is_mapped(va));
+        vm.translate(va, &mut fa);
+        assert!(vm.is_mapped(va));
+    }
+}

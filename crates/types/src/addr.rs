@@ -1,0 +1,258 @@
+//! Strongly-typed virtual and physical addresses.
+//!
+//! L1D prefetchers operate on **virtual** addresses (the L1D is VIPT), while
+//! lower-level caches and the pUB training buffer operate on **physical**
+//! addresses. Mixing the two silently is the classic source of bugs in
+//! prefetch-filter implementations, so the two spaces are distinct newtypes
+//! with no implicit conversion; translation happens only through the MMU
+//! model in `pagecross-mem`.
+
+use std::fmt;
+
+/// Log2 of the cache line size (64 B lines).
+pub const LINE_SHIFT: u32 = 6;
+/// Cache line size in bytes.
+pub const LINE_SIZE: u64 = 1 << LINE_SHIFT;
+/// Log2 of the base page size (4 KB).
+pub const PAGE_SHIFT_4K: u32 = 12;
+/// Base page size in bytes.
+pub const PAGE_SIZE_4K: u64 = 1 << PAGE_SHIFT_4K;
+/// Log2 of the large page size (2 MB).
+pub const HUGE_PAGE_SHIFT_2M: u32 = 21;
+/// Large page size in bytes.
+pub const HUGE_PAGE_SIZE_2M: u64 = 1 << HUGE_PAGE_SHIFT_2M;
+
+macro_rules! addr_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw 64-bit address.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw 64-bit address.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The cache-line-aligned address (byte address of the line base).
+            #[inline]
+            pub const fn line_base(self) -> Self {
+                Self(self.0 & !(LINE_SIZE - 1))
+            }
+
+            /// The cache line number (address >> 6).
+            #[inline]
+            pub const fn line(self) -> LineAddr {
+                LineAddr(self.0 >> LINE_SHIFT)
+            }
+
+            /// The 4 KB page number (address >> 12).
+            #[inline]
+            pub const fn page_4k(self) -> PageNum {
+                PageNum(self.0 >> PAGE_SHIFT_4K)
+            }
+
+            /// The 2 MB page number (address >> 21).
+            #[inline]
+            pub const fn page_2m(self) -> PageNum {
+                PageNum(self.0 >> HUGE_PAGE_SHIFT_2M)
+            }
+
+            /// Byte offset within the 4 KB page.
+            #[inline]
+            pub const fn page_offset_4k(self) -> u64 {
+                self.0 & (PAGE_SIZE_4K - 1)
+            }
+
+            /// Cache-line index within the 4 KB page (0..64).
+            #[inline]
+            pub const fn line_offset_in_page(self) -> u64 {
+                (self.0 & (PAGE_SIZE_4K - 1)) >> LINE_SHIFT
+            }
+
+            /// Adds a signed byte delta, saturating at the address-space edges.
+            #[inline]
+            pub fn offset(self, delta: i64) -> Self {
+                Self(self.0.wrapping_add_signed(delta))
+            }
+
+            /// True when `self` and `other` lie on different 4 KB pages.
+            #[inline]
+            pub const fn crosses_4k(self, other: Self) -> bool {
+                self.page_4k().0 != other.page_4k().0
+            }
+
+            /// True when `self` and `other` lie on different 2 MB pages.
+            #[inline]
+            pub const fn crosses_2m(self, other: Self) -> bool {
+                self.page_2m().0 != other.page_2m().0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:#x})", stringify!($name), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+addr_newtype!(
+    /// A virtual byte address. Prefetchers, vUB entries and program features
+    /// all operate in this space.
+    VirtAddr
+);
+addr_newtype!(
+    /// A physical byte address. Cache tags below L1 and pUB entries operate
+    /// in this space; it can only be produced by the MMU.
+    PhysAddr
+);
+
+/// A cache line number (byte address >> 6) without an address-space tag.
+///
+/// Used as a compact key inside single-address-space structures (e.g. a
+/// cache indexed by physical line, or the vUB indexed by virtual line).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Returns the line number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs the byte address of the line base.
+    #[inline]
+    pub const fn byte_base(self) -> u64 {
+        self.0 << LINE_SHIFT
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+/// A page number (4 KB or 2 MB granularity depending on provenance).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNum(pub u64);
+
+impl PageNum {
+    /// Returns the page number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageNum({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_base_alignment() {
+        let a = VirtAddr::new(0x1234);
+        assert_eq!(a.line_base().raw(), 0x1200);
+        assert_eq!(a.line().raw(), 0x1234 >> 6);
+    }
+
+    #[test]
+    fn page_projections() {
+        let a = VirtAddr::new(0x0020_3456);
+        assert_eq!(a.page_4k().raw(), 0x203);
+        assert_eq!(a.page_2m().raw(), 0x1);
+        assert_eq!(a.page_offset_4k(), 0x456);
+    }
+
+    #[test]
+    fn crossing_detection_4k() {
+        let last_line = VirtAddr::new(PAGE_SIZE_4K - LINE_SIZE);
+        let next = last_line.offset(LINE_SIZE as i64);
+        assert!(last_line.crosses_4k(next));
+        assert!(!last_line.crosses_4k(VirtAddr::new(0)));
+    }
+
+    #[test]
+    fn crossing_detection_2m() {
+        let a = VirtAddr::new(HUGE_PAGE_SIZE_2M - 64);
+        let b = a.offset(64);
+        assert!(a.crosses_2m(b));
+        // Crossing a 4 KB boundary inside the same 2 MB page.
+        let c = VirtAddr::new(PAGE_SIZE_4K - 64);
+        let d = c.offset(64);
+        assert!(c.crosses_4k(d));
+        assert!(!c.crosses_2m(d));
+    }
+
+    #[test]
+    fn negative_offsets() {
+        let a = VirtAddr::new(0x2000);
+        assert_eq!(a.offset(-64).raw(), 0x2000 - 64);
+        assert!(a.crosses_4k(a.offset(-64)));
+    }
+
+    #[test]
+    fn line_offset_in_page_range() {
+        for off in (0..PAGE_SIZE_4K).step_by(64) {
+            let a = VirtAddr::new(0x7000_0000 + off);
+            assert!(a.line_offset_in_page() < 64);
+        }
+    }
+
+    #[test]
+    fn spaces_are_distinct_types() {
+        fn takes_virt(_: VirtAddr) {}
+        takes_virt(VirtAddr::new(1));
+        // PhysAddr deliberately does not coerce; this is a compile-time
+        // property, witnessed here by constructing both independently.
+        let p = PhysAddr::new(1);
+        assert_eq!(p.raw(), 1);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        let a = VirtAddr::new(0);
+        assert!(!format!("{a}").is_empty());
+        assert!(!format!("{a:?}").is_empty());
+        assert_eq!(format!("{:x}", VirtAddr::new(0xabc)), "abc");
+    }
+
+    #[test]
+    fn line_addr_roundtrip() {
+        let a = PhysAddr::new(0xdead_beef);
+        assert_eq!(a.line().byte_base(), a.line_base().raw());
+    }
+}

@@ -1,0 +1,192 @@
+//! Signed saturating counters.
+//!
+//! MOKA implements perceptron weights and system-feature weights with
+//! saturating counters (paper §III-B). A counter of `bits` width stores
+//! values in `[-2^(bits-1), 2^(bits-1) - 1]` — e.g. the 5-bit weights of
+//! Table III span `[-16, 15]`.
+
+use std::fmt;
+
+/// A signed saturating counter with a configurable bit width.
+///
+/// # Example
+///
+/// ```
+/// use pagecross_types::SatCounter;
+///
+/// let mut w = SatCounter::new(5);
+/// for _ in 0..100 {
+///     w.inc();
+/// }
+/// assert_eq!(w.get(), 15); // saturated at +2^4 - 1
+/// for _ in 0..100 {
+///     w.dec();
+/// }
+/// assert_eq!(w.get(), -16); // saturated at -2^4
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SatCounter {
+    value: i16,
+    min: i16,
+    max: i16,
+}
+
+impl SatCounter {
+    /// Creates a zero-initialised counter of the given bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `2..=15`.
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=15).contains(&bits), "counter width must be 2..=15 bits");
+        let max = (1i16 << (bits - 1)) - 1;
+        Self { value: 0, min: -max - 1, max }
+    }
+
+    /// Creates a counter with an explicit initial value (clamped to range).
+    pub fn with_value(bits: u32, value: i16) -> Self {
+        let mut c = Self::new(bits);
+        c.value = value.clamp(c.min, c.max);
+        c
+    }
+
+    /// Current value.
+    #[inline]
+    pub const fn get(self) -> i16 {
+        self.value
+    }
+
+    /// Inclusive maximum representable value.
+    #[inline]
+    pub const fn max(self) -> i16 {
+        self.max
+    }
+
+    /// Inclusive minimum representable value.
+    #[inline]
+    pub const fn min(self) -> i16 {
+        self.min
+    }
+
+    /// Increments, saturating at the maximum.
+    #[inline]
+    pub fn inc(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements, saturating at the minimum.
+    #[inline]
+    pub fn dec(&mut self) {
+        if self.value > self.min {
+            self.value -= 1;
+        }
+    }
+
+    /// Adds a signed amount, saturating at both ends.
+    #[inline]
+    pub fn add(&mut self, amount: i16) {
+        self.value = self.value.saturating_add(amount).clamp(self.min, self.max);
+    }
+
+    /// Resets the counter to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// True when the counter is at its positive saturation point.
+    #[inline]
+    pub const fn is_max(self) -> bool {
+        self.value == self.max
+    }
+
+    /// True when the counter is at its negative saturation point.
+    #[inline]
+    pub const fn is_min(self) -> bool {
+        self.value == self.min
+    }
+}
+
+impl fmt::Debug for SatCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SatCounter({} in [{}, {}])", self.value, self.min, self.max)
+    }
+}
+
+impl fmt::Display for SatCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_bit_range_matches_table_iii() {
+        let c = SatCounter::new(5);
+        assert_eq!(c.min(), -16);
+        assert_eq!(c.max(), 15);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn saturates_upward() {
+        let mut c = SatCounter::new(3);
+        for _ in 0..20 {
+            c.inc();
+        }
+        assert_eq!(c.get(), 3);
+        assert!(c.is_max());
+    }
+
+    #[test]
+    fn saturates_downward() {
+        let mut c = SatCounter::new(3);
+        for _ in 0..20 {
+            c.dec();
+        }
+        assert_eq!(c.get(), -4);
+        assert!(c.is_min());
+    }
+
+    #[test]
+    fn add_clamps() {
+        let mut c = SatCounter::new(5);
+        c.add(100);
+        assert_eq!(c.get(), 15);
+        c.add(-100);
+        assert_eq!(c.get(), -16);
+        c.add(5);
+        assert_eq!(c.get(), -11);
+    }
+
+    #[test]
+    fn with_value_clamps() {
+        assert_eq!(SatCounter::with_value(5, 99).get(), 15);
+        assert_eq!(SatCounter::with_value(5, -99).get(), -16);
+        assert_eq!(SatCounter::with_value(5, 7).get(), 7);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let mut c = SatCounter::with_value(5, 9);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn rejects_too_wide() {
+        let _ = SatCounter::new(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn rejects_too_narrow() {
+        let _ = SatCounter::new(1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Runtime system-state snapshots consumed by MOKA.
+//!
+//! The paper's system features (§III-D2) and adaptive thresholding scheme
+//! (§III-C3) both make decisions from *windowed* runtime statistics —
+//! MPKIs, miss rates, IPC, ROB pressure, in-flight misses. The CPU model
+//! produces a [`SystemSnapshot`] over a sliding window and hands it to the
+//! filter at decision time and at epoch boundaries.
+
+/// A windowed summary of the system state, in the units the paper uses.
+///
+/// All `*_mpki` fields are misses per kilo-instruction over the window; all
+/// `*_miss_rate` fields are misses/accesses in `[0, 1]`. `ipc` is the
+/// window's retired-instructions/cycles. Page-cross prefetch counts are
+/// cumulative within the current epoch.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SystemSnapshot {
+    /// L1D demand misses per kilo-instruction.
+    pub l1d_mpki: f64,
+    /// L1D demand miss rate.
+    pub l1d_miss_rate: f64,
+    /// LLC demand misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// LLC demand miss rate.
+    pub llc_miss_rate: f64,
+    /// Last-level TLB misses per kilo-instruction.
+    pub stlb_mpki: f64,
+    /// Last-level TLB miss rate.
+    pub stlb_miss_rate: f64,
+    /// L1I misses per kilo-instruction (adaptive thresholding input).
+    pub l1i_mpki: f64,
+    /// Window IPC.
+    pub ipc: f64,
+    /// ROB occupancy fraction in `[0, 1]`.
+    pub rob_occupancy: f64,
+    /// Number of in-flight L1D misses (MSHR occupancy).
+    pub inflight_l1d_misses: u32,
+    /// Useful page-cross prefetches observed this epoch.
+    pub pgc_useful: u64,
+    /// Useless page-cross prefetches observed this epoch.
+    pub pgc_useless: u64,
+}
+
+impl SystemSnapshot {
+    /// Accuracy of page-cross prefetching this epoch: useful / issued.
+    /// Returns 1.0 when nothing has been issued yet (optimistic start, so
+    /// the filter is not throttled before any evidence exists).
+    pub fn pgc_accuracy(&self) -> f64 {
+        let total = self.pgc_useful + self.pgc_useless;
+        if total == 0 {
+            1.0
+        } else {
+            self.pgc_useful as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_with_no_issues_is_optimistic() {
+        let s = SystemSnapshot::default();
+        assert_eq!(s.pgc_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_ratio() {
+        let s = SystemSnapshot { pgc_useful: 30, pgc_useless: 10, ..Default::default() };
+        assert!((s.pgc_accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_all_useless() {
+        let s = SystemSnapshot { pgc_useful: 0, pgc_useless: 5, ..Default::default() };
+        assert_eq!(s.pgc_accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic workload suites for the `pagecross` reproduction.
+//!
+//! The paper evaluates on SimPoint traces of SPEC CPU 2006/2017, GAP,
+//! Ligra, PARSEC, Geekbench 5 and the Qualcomm CVP-1 traces — none of
+//! which are redistributable. This crate substitutes *parameterised
+//! synthetic generators* (see [`gen`]) organised into a registry ([`suites`])
+//! with the paper's structure: **218 seen** and **178 unseen**
+//! memory-intensive workloads plus a non-intensive set, grouped into
+//! eight suites.
+//!
+//! The generators control exactly the properties that decide whether
+//! page-cross prefetching helps: contiguous streams (friendly), segmented
+//! per-page streams with random page hops (hostile), dependent pointer
+//! chases, CSR graph traversals with power-law fan-out, large-stride
+//! stencils, and cache-resident hot sets. See DESIGN.md §3 for the
+//! substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use pagecross_workloads::{suite, SuiteId, seen_workloads};
+//! use pagecross_cpu::trace::TraceFactory;
+//!
+//! assert_eq!(seen_workloads().len(), 218);
+//! let gap = suite(SuiteId::Gap);
+//! let mut trace = gap.workloads()[0].build();
+//! let _first = trace.next_instr();
+//! ```
+
+pub mod gen;
+pub mod suites;
+
+pub use gen::{Component, GenParams, Phase, SyntheticTrace};
+pub use suites::{
+    non_intensive_workloads, random_mixes, representative_seen, representative_unseen,
+    seen_workloads, suite, unseen_workloads, Suite, SuiteId, Workload,
+};

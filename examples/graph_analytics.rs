@@ -1,0 +1,58 @@
+//! Graph-analytics scenario: the workload class the paper's introduction
+//! motivates (GAP / Ligra kernels with multi-gigabyte footprints).
+//!
+//! Sweeps every GAP-suite template under Discard / Permit / DRIPPER with
+//! all three prefetchers and prints a per-workload comparison — a miniature
+//! of the paper's Fig. 2 focused on graphs.
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics
+//! ```
+
+use pagecross::cpu::{PgcPolicyKind, PrefetcherKind, SimulationBuilder};
+use pagecross::cpu::trace::TraceFactory;
+use pagecross::types::geomean;
+use pagecross::workloads::{suite, SuiteId};
+
+fn run(pf: PrefetcherKind, policy: PgcPolicyKind, w: &pagecross::workloads::Workload) -> f64 {
+    SimulationBuilder::new()
+        .prefetcher(pf)
+        .pgc_policy(policy)
+        .warmup(40_000)
+        .instructions(80_000)
+        .run_workload(w)
+        .ipc()
+}
+
+fn main() {
+    let workloads: Vec<_> =
+        suite(SuiteId::Gap).workloads().iter().filter(|w| w.is_seen()).take(8).collect();
+
+    for pf in [PrefetcherKind::Berti, PrefetcherKind::Ipcp, PrefetcherKind::Bop] {
+        println!("== L1D prefetcher: {pf:?} ==");
+        println!("{:<12} {:>16} {:>16}", "workload", "Permit vs Discard", "DRIPPER vs Discard");
+        let mut permit_ratios = Vec::new();
+        let mut dripper_ratios = Vec::new();
+        for w in &workloads {
+            let discard = run(pf, PgcPolicyKind::DiscardPgc, w);
+            let permit = run(pf, PgcPolicyKind::PermitPgc, w);
+            let dripper = run(pf, PgcPolicyKind::Dripper, w);
+            permit_ratios.push(permit / discard);
+            dripper_ratios.push(dripper / discard);
+            println!(
+                "{:<12} {:>15.2}% {:>15.2}%",
+                w.name(),
+                (permit / discard - 1.0) * 100.0,
+                (dripper / discard - 1.0) * 100.0
+            );
+        }
+        let gp = geomean(&permit_ratios).unwrap_or(1.0);
+        let gd = geomean(&dripper_ratios).unwrap_or(1.0);
+        println!(
+            "{:<12} {:>15.2}% {:>15.2}%   (geomean)\n",
+            "GEOMEAN",
+            (gp - 1.0) * 100.0,
+            (gd - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Large-page scenario (§V-B6): a system using both 4 KB and 2 MB pages.
+//!
+//! Compares Permit PGC, DRIPPER filtering at the backing page's boundary
+//! ("filter@2MB", the page-size-aware variant), and default DRIPPER
+//! (always filtering at 4 KB boundaries) over Discard PGC.
+//!
+//! ```sh
+//! cargo run --release --example large_pages
+//! ```
+
+use pagecross::cpu::{BoundaryMode, PgcPolicyKind, PrefetcherKind, SimulationBuilder};
+use pagecross::cpu::trace::TraceFactory;
+use pagecross::mem::HugePagePolicy;
+use pagecross::types::geomean;
+use pagecross::workloads::representative_seen;
+
+fn run(
+    policy: PgcPolicyKind,
+    boundary: BoundaryMode,
+    w: &pagecross::workloads::Workload,
+) -> f64 {
+    SimulationBuilder::new()
+        .prefetcher(PrefetcherKind::Berti)
+        .pgc_policy(policy)
+        .boundary(boundary)
+        // Half the 2 MB regions promoted to huge pages, per [89]'s
+        // methodology.
+        .huge_pages(HugePagePolicy::Fraction(0.5))
+        .warmup(40_000)
+        .instructions(80_000)
+        .run_workload(w)
+        .ipc()
+}
+
+fn main() {
+    let workloads = representative_seen(2);
+    println!(
+        "{:<14} {:>18} {:>18} {:>14}",
+        "workload", "Permit", "DRIPPER@pagesize", "DRIPPER@4K"
+    );
+    let (mut rp, mut r2m, mut r4k) = (vec![], vec![], vec![]);
+    for w in &workloads {
+        let discard = run(PgcPolicyKind::DiscardPgc, BoundaryMode::Fixed4K, w);
+        let permit = run(PgcPolicyKind::PermitPgc, BoundaryMode::PageSizeAware, w);
+        let d2m = run(PgcPolicyKind::Dripper, BoundaryMode::PageSizeAware, w);
+        let d4k = run(PgcPolicyKind::Dripper, BoundaryMode::Fixed4K, w);
+        rp.push(permit / discard);
+        r2m.push(d2m / discard);
+        r4k.push(d4k / discard);
+        println!(
+            "{:<14} {:>17.2}% {:>17.2}% {:>13.2}%",
+            w.name(),
+            (permit / discard - 1.0) * 100.0,
+            (d2m / discard - 1.0) * 100.0,
+            (d4k / discard - 1.0) * 100.0
+        );
+    }
+    println!(
+        "{:<14} {:>17.2}% {:>17.2}% {:>13.2}%   (geomean over Discard PGC)",
+        "GEOMEAN",
+        (geomean(&rp).unwrap_or(1.0) - 1.0) * 100.0,
+        (geomean(&r2m).unwrap_or(1.0) - 1.0) * 100.0,
+        (geomean(&r4k).unwrap_or(1.0) - 1.0) * 100.0
+    );
+    println!("\nThe paper (§V-B6) finds DRIPPER@4K > DRIPPER@2MB > Permit in geomean:");
+    println!("filtering at 4 KB boundaries stays useful even inside 2 MB pages, because");
+    println!("it still prevents cache pollution (sTLB pollution no longer applies).");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate one workload under the three page-cross policies
+//! the paper compares, and print the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pagecross::cpu::{PgcPolicyKind, PrefetcherKind, SimulationBuilder};
+use pagecross::workloads::{suite, SuiteId};
+
+fn main() {
+    // Pick a GAP-like graph workload: large footprint, heavy TLB pressure —
+    // the kind of workload where the page-cross decision actually matters.
+    let workload = &suite(SuiteId::Gap).workloads()[0];
+    println!("workload: {}", pagecross::cpu::trace::TraceFactory::name(workload));
+    println!("{:<14} {:>7} {:>10} {:>10} {:>10} {:>10}", "policy", "IPC", "L1D MPKI", "sTLB MPKI", "PGC issued", "spec walks");
+
+    let mut baseline_ipc = None;
+    for policy in [PgcPolicyKind::DiscardPgc, PgcPolicyKind::PermitPgc, PgcPolicyKind::Dripper] {
+        let report = SimulationBuilder::new()
+            .prefetcher(PrefetcherKind::Berti)
+            .pgc_policy(policy)
+            .warmup(50_000)
+            .instructions(100_000)
+            .run_workload(workload);
+        println!(
+            "{:<14} {:>7.3} {:>10.2} {:>10.2} {:>10} {:>10}",
+            report.policy,
+            report.ipc(),
+            report.l1d_mpki(),
+            report.stlb_mpki(),
+            report.prefetch.pgc_issued,
+            report.prefetch.speculative_walks,
+        );
+        match policy {
+            PgcPolicyKind::DiscardPgc => baseline_ipc = Some(report.ipc()),
+            _ => {
+                let base = baseline_ipc.expect("baseline ran first");
+                println!(
+                    "{:<14}   -> {:+.2}% vs Discard PGC",
+                    "", (report.ipc() / base - 1.0) * 100.0
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # pagecross
+//!
+//! A full reproduction of *"To Cross, or Not to Cross Pages for
+//! Prefetching?"* (HPCA 2025): the **MOKA** framework for page-cross
+//! prefetch filtering, the **DRIPPER** prototype filter, the three L1D
+//! prefetchers it was evaluated with (Berti, IPCP, BOP), and the complete
+//! ChampSim-like simulation substrate (out-of-order core, cache hierarchy,
+//! TLBs, page-structure caches, page-table walker, DRAM).
+//!
+//! This umbrella crate re-exports the workspace members under stable paths.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pagecross::cpu::{SimulationBuilder, PrefetcherKind, PgcPolicyKind};
+//! use pagecross::workloads::{suite, SuiteId};
+//!
+//! // Pick a workload from the synthetic suite registry and simulate it with
+//! // the Berti prefetcher under the DRIPPER page-cross filter.
+//! let wl = &suite(SuiteId::Gap).workloads()[0];
+//! let report = SimulationBuilder::new()
+//!     .prefetcher(PrefetcherKind::Berti)
+//!     .pgc_policy(PgcPolicyKind::Dripper)
+//!     .instructions(20_000)
+//!     .run_workload(wl);
+//! assert!(report.core.ipc() > 0.0);
+//! ```
+
+pub use moka_pgc as moka;
+pub use pagecross_cpu as cpu;
+pub use pagecross_mem as mem;
+pub use pagecross_prefetch as prefetch;
+pub use pagecross_types as types;
+pub use pagecross_workloads as workloads;
