@@ -1,20 +1,21 @@
-//! Criterion microbenchmarks: raw throughput of the simulator's hot
-//! components — useful when porting or optimising the substrate.
+//! Microbenchmarks: raw throughput of the simulator's hot components —
+//! useful when porting or optimising the substrate. Runs on the in-repo
+//! [`pagecross_bench::microbench`] harness (median-of-N, monotonic clock).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use moka_pgc::dripper::{dripper, TargetPrefetcher};
-use moka_pgc::{FeatureContext, PgcPolicy, ProgramFeature};
 use moka_pgc::perceptron::PerceptronBank;
+use moka_pgc::{FeatureContext, PgcPolicy, ProgramFeature};
+use pagecross_bench::microbench::{black_box, Micro};
 use pagecross_cpu::{PgcPolicyKind, PrefetcherKind, SimulationBuilder};
-use pagecross_mem::{Cache, CacheConfig, FillKind, MemConfig, MemorySystem};
 use pagecross_mem::vmem::HugePagePolicy;
+use pagecross_mem::{Cache, CacheConfig, FillKind, MemConfig, MemorySystem};
 use pagecross_prefetch::{AccessInfo, Berti, L1dPrefetcher};
 use pagecross_types::{LineAddr, PrefetchCandidate, Rng64, SystemSnapshot, VirtAddr};
 use pagecross_workloads::{suite, SuiteId};
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache(c: &mut Micro) {
     let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1024));
+    g.throughput(1024);
     g.bench_function("access_fill_mix", |b| {
         let mut cache = Cache::new(
             "bench",
@@ -33,29 +34,29 @@ fn bench_cache(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_tlb_ptw(c: &mut Criterion) {
+fn bench_tlb_ptw(c: &mut Micro) {
     let mut g = c.benchmark_group("tlb_ptw");
-    g.throughput(Throughput::Elements(256));
+    g.throughput(256);
     g.bench_function("demand_translate_cold_and_warm", |b| {
         let mut mem = MemorySystem::new(MemConfig::table_iv(1), 1, HugePagePolicy::None, 5);
         let mut rng = Rng64::new(2);
         let mut cycle = 0u64;
         b.iter(|| {
             for _ in 0..256 {
-                // Bounded VA space: criterion runs many iterations and the
+                // Bounded VA space: the harness runs many iterations and the
                 // frame allocator must not exhaust physical memory.
                 let va = VirtAddr::new(rng.below(1 << 27) & !63);
                 cycle += 50;
-                criterion::black_box(mem.demand_data(0, va, false, cycle));
+                black_box(mem.demand_data(0, va, false, cycle));
             }
         });
     });
     g.finish();
 }
 
-fn bench_perceptron(c: &mut Criterion) {
+fn bench_perceptron(c: &mut Micro) {
     let mut g = c.benchmark_group("perceptron");
-    g.throughput(Throughput::Elements(1024));
+    g.throughput(1024);
     g.bench_function("predict_55_features", |b| {
         let bank = PerceptronBank::new(&ProgramFeature::bouquet(), 1024, 5);
         let ctx = FeatureContext { pc: 0x401000, va: 0x7000_1234, delta: 5, ..Default::default() };
@@ -63,7 +64,7 @@ fn bench_perceptron(c: &mut Criterion) {
             for i in 0..1024u64 {
                 let mut c = ctx;
                 c.va = c.va.wrapping_add(i * 64);
-                criterion::black_box(bank.predict(&c));
+                black_box(bank.predict(&c));
             }
         });
     });
@@ -87,16 +88,16 @@ fn bench_perceptron(c: &mut Criterion) {
                     delta: 1,
                     ..Default::default()
                 };
-                criterion::black_box(policy.decide(&cand, &ctx, &snap));
+                black_box(policy.decide(&cand, &ctx, &snap));
             }
         });
     });
     g.finish();
 }
 
-fn bench_prefetchers(c: &mut Criterion) {
+fn bench_prefetchers(c: &mut Micro) {
     let mut g = c.benchmark_group("prefetchers");
-    g.throughput(Throughput::Elements(1024));
+    g.throughput(1024);
     g.bench_function("berti_train_and_issue", |b| {
         let mut pf = Berti::new(1);
         let mut out = Vec::new();
@@ -123,14 +124,14 @@ fn bench_prefetchers(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end(c: &mut Micro) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
-    g.throughput(Throughput::Elements(20_000));
+    g.throughput(20_000);
     g.bench_function("berti_dripper_20k_instrs", |b| {
         let w = &suite(SuiteId::Gap).workloads()[0];
         b.iter(|| {
-            criterion::black_box(
+            black_box(
                 SimulationBuilder::new()
                     .prefetcher(PrefetcherKind::Berti)
                     .pgc_policy(PgcPolicyKind::Dripper)
@@ -143,12 +144,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_tlb_ptw,
-    bench_perceptron,
-    bench_prefetchers,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    let mut m = Micro::from_env();
+    bench_cache(&mut m);
+    bench_tlb_ptw(&mut m);
+    bench_perceptron(&mut m);
+    bench_prefetchers(&mut m);
+    bench_end_to_end(&mut m);
+}

@@ -1,0 +1,49 @@
+//! Regenerates the constants locked by `tests/golden.rs`.
+//!
+//! Run `cargo run --release -p pagecross-bench --example golden_capture`
+//! after an *intentional* behaviour change and copy the printed counters
+//! into the golden table. Debug and release builds must print identical
+//! values (the simulator is integer-deterministic); if they ever differ,
+//! that is itself a bug.
+
+use pagecross_cpu::trace::TraceFactory;
+use pagecross_cpu::{PgcPolicyKind, PrefetcherKind, SimulationBuilder};
+use pagecross_workloads::{suite, SuiteId};
+
+fn main() {
+    let cases = [
+        ("gap.s00", SuiteId::Gap, 0, PrefetcherKind::Berti, PgcPolicyKind::Dripper),
+        ("spec06.s00", SuiteId::Spec06, 0, PrefetcherKind::Berti, PgcPolicyKind::PermitPgc),
+        ("ligra.s01", SuiteId::Ligra, 1, PrefetcherKind::Bop, PgcPolicyKind::Dripper),
+        ("qmm_int.s00", SuiteId::QmmInt, 0, PrefetcherKind::Ipcp, PgcPolicyKind::DiscardPgc),
+    ];
+    for (name, sid, idx, pf, pol) in cases {
+        let w = &suite(sid).workloads()[idx];
+        assert_eq!(w.name(), name, "registry order changed; update the case list");
+        let r = SimulationBuilder::new()
+            .prefetcher(pf)
+            .pgc_policy(pol)
+            .warmup(5_000)
+            .instructions(20_000)
+            .run_workload(w);
+        println!(
+            "(\"{}\", {:?}, {:?}): cycles={} l1d_acc={} l1d_miss={} dtlb_miss={} stlb_miss={} \
+             pgc_cand={} pgc_issued={} pgc_disc={} demand_walks={} ipc={:.6} l1d_mpki={:.6} dtlb_mpki={:.6}",
+            name,
+            pf,
+            pol,
+            r.core.cycles,
+            r.l1d.demand_accesses,
+            r.l1d.demand_misses,
+            r.dtlb.misses,
+            r.stlb.misses,
+            r.prefetch.pgc_candidates,
+            r.prefetch.pgc_issued,
+            r.prefetch.pgc_discarded,
+            r.walks.demand_walks,
+            r.ipc(),
+            r.l1d_mpki(),
+            r.dtlb_mpki()
+        );
+    }
+}

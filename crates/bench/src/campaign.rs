@@ -1,9 +1,28 @@
-//! Campaign runner: sweeps (workload × scheme) cells and collects reports.
+//! Campaign runner: sweeps (workload × scheme) grids and collects reports,
+//! in parallel across a `std::thread` worker pool.
+//!
+//! A campaign is a flat list of *cells* — every (workload, scheme) pair of
+//! the grid, numbered in grid order. Cells are **striped** across shards
+//! (cell `i` belongs to shard `i mod jobs`), each shard visits its cells in
+//! an order shuffled by its own seeded [`Rng64`] (cheap load spreading when
+//! neighbouring cells have correlated cost), and the merged result is
+//! sorted back into grid order. Because every cell simulation is itself
+//! seeded (via [`CampaignConfig::seed`]), the merged results are
+//! **bit-for-bit identical** for any worker count — `--jobs 1` and
+//! `--jobs 32` produce the same reports, in the same order.
+//!
+//! The 20+ `benches/fig*`/`table*` experiment harnesses all call
+//! [`run_all`], which routes through the pool sized by
+//! [`env_jobs`] (`PAGECROSS_JOBS`, default: all available cores), so every
+//! figure campaign scales with the machine without per-experiment code.
+
+use std::time::{Duration, Instant};
 
 use pagecross_cpu::{
     BoundaryMode, L2PrefetcherKind, PgcPolicyKind, PrefetcherKind, Report, SimulationBuilder,
 };
 use pagecross_mem::HugePagePolicy;
+use pagecross_types::Rng64;
 use pagecross_workloads::Workload;
 
 /// One scheme under comparison: prefetcher + policy (+ variants).
@@ -37,18 +56,28 @@ impl Scheme {
     }
 }
 
-/// Campaign-wide length scaling (keeps the full figure set tractable).
+/// Campaign-wide length scaling and seeding (keeps the full figure set
+/// tractable and reproducible).
 #[derive(Clone, Copy, Debug)]
 pub struct CampaignConfig {
     /// Multiplier on each workload's default warm-up length.
     pub warmup_scale: f64,
     /// Multiplier on each workload's default measured length.
     pub measure_scale: f64,
+    /// Seed for every cell's simulation (frame allocation etc.) and for
+    /// the per-shard visit-order generators.
+    pub seed: u64,
+}
+
+impl CampaignConfig {
+    /// The historical default simulation seed; campaigns that never set a
+    /// seed reproduce the pre-campaign-runner numbers exactly.
+    pub const DEFAULT_SEED: u64 = 0xC0FFEE;
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        Self { warmup_scale: 1.0, measure_scale: 1.0 }
+        Self { warmup_scale: 1.0, measure_scale: 1.0, seed: Self::DEFAULT_SEED }
     }
 }
 
@@ -74,6 +103,7 @@ pub fn run_one(w: &Workload, scheme: &Scheme, cfg: &CampaignConfig) -> WorkloadR
         .l2_prefetcher(scheme.l2)
         .boundary(scheme.boundary)
         .huge_pages(scheme.huge.clone())
+        .seed(cfg.seed)
         .warmup((warm as f64 * cfg.warmup_scale) as u64)
         .instructions((measure as f64 * cfg.measure_scale) as u64)
         .run_workload(w);
@@ -85,20 +115,199 @@ pub fn run_one(w: &Workload, scheme: &Scheme, cfg: &CampaignConfig) -> WorkloadR
     }
 }
 
-/// Runs the full cross product; results are grouped by workload then scheme
-/// (scheme order preserved within each workload).
+/// Wall-clock timing of one executed cell.
+#[derive(Clone, Debug)]
+pub struct CellTiming {
+    /// Cell index in grid order.
+    pub cell: usize,
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Time spent simulating this cell.
+    pub elapsed: Duration,
+}
+
+/// Aggregate statistics of one worker shard.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Shard index (`cell mod jobs`).
+    pub shard: usize,
+    /// Number of cells this shard executed.
+    pub cells: usize,
+    /// Total simulation time spent on this shard.
+    pub busy: Duration,
+}
+
+/// A completed campaign: merged results plus timing telemetry.
+#[derive(Clone, Debug)]
+pub struct CampaignRun {
+    /// Cell results in grid order (workload-major, scheme-minor) —
+    /// independent of the worker count.
+    pub results: Vec<WorkloadResult>,
+    /// Per-cell timings, in grid order.
+    pub timings: Vec<CellTiming>,
+    /// Per-shard execution statistics, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock time of the parallel section.
+    pub wall: Duration,
+    /// Process CPU time consumed during the parallel section (Linux;
+    /// `None` where `/proc` is unavailable).
+    pub cpu: Option<Duration>,
+}
+
+impl CampaignRun {
+    /// Total per-cell wall time across all cells. On an idle multi-core
+    /// machine this approximates serial execution time; when workers
+    /// outnumber cores it also counts time spent descheduled, so prefer
+    /// [`CampaignRun::speedup`] for efficiency claims.
+    pub fn busy_total(&self) -> Duration {
+        self.shards.iter().map(|s| s.busy).sum()
+    }
+
+    /// Parallel speedup: CPU work over wall-clock time. ~1.0 when serial
+    /// (or when workers timeshare one core); approaches `jobs` under ideal
+    /// scaling. Falls back to per-cell wall time where process CPU time is
+    /// unavailable.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        let work = self.cpu.unwrap_or_else(|| self.busy_total()).as_secs_f64();
+        if wall > 0.0 {
+            work / wall
+        } else {
+            1.0
+        }
+    }
+
+    /// One-line timing summary (`[campaign] ...`) for experiment logs.
+    pub fn timing_line(&self) -> String {
+        format!(
+            "[campaign] {} cells on {} workers: wall {:.2?}, cpu {:.2?}, speedup {:.2}x",
+            self.results.len(),
+            self.jobs,
+            self.wall,
+            self.cpu.unwrap_or_else(|| self.busy_total()),
+            self.speedup()
+        )
+    }
+}
+
+/// Process CPU time (user + system) read from `/proc/self/stat`.
+///
+/// Uses the fixed Linux `USER_HZ` of 100 ticks/second; returns `None` on
+/// platforms without procfs (callers fall back to wall-clock sums).
+fn process_cpu_time() -> Option<Duration> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field may contain spaces; fields of interest follow ") ".
+    let rest = stat.rsplit_once(") ")?.1;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // Overall stat fields 14 (utime) and 15 (stime), 1-based; `rest`
+    // starts at field 3 (state).
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some(Duration::from_millis((utime + stime) * 10))
+}
+
+/// Worker count from the environment: `PAGECROSS_JOBS` when set, otherwise
+/// all available cores.
+pub fn env_jobs() -> usize {
+    std::env::var("PAGECROSS_JOBS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .min(256)
+}
+
+/// Runs the full (workload × scheme) grid on `jobs` worker threads and
+/// returns results merged deterministically into grid order.
+///
+/// Each shard owns the cells with `index % jobs == shard` and visits them
+/// in an order drawn from a shard-seeded [`Rng64`]; the merge sorts by cell
+/// index, so the output never depends on thread scheduling or `jobs`.
+pub fn run_grid(
+    workloads: &[&Workload],
+    schemes: &[Scheme],
+    cfg: &CampaignConfig,
+    jobs: usize,
+) -> CampaignRun {
+    let cells: Vec<(usize, &Workload, &Scheme)> = workloads
+        .iter()
+        .flat_map(|&w| schemes.iter().map(move |s| (w, s)))
+        .enumerate()
+        .map(|(i, (w, s))| (i, w, s))
+        .collect();
+    let jobs = jobs.clamp(1, cells.len().max(1));
+
+    let cpu_before = process_cpu_time();
+    let start = Instant::now();
+    let mut per_shard: Vec<(ShardStats, Vec<(usize, WorkloadResult, Duration)>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|shard| {
+                    let cells = &cells;
+                    scope.spawn(move || {
+                        // Stripe, then shuffle the visit order with the
+                        // shard's own generator (Fisher–Yates).
+                        let mut mine: Vec<&(usize, &Workload, &Scheme)> =
+                            cells.iter().skip(shard).step_by(jobs).collect();
+                        let mut rng = Rng64::new(
+                            cfg.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        for i in (1..mine.len()).rev() {
+                            mine.swap(i, rng.below(i as u64 + 1) as usize);
+                        }
+                        let mut out = Vec::with_capacity(mine.len());
+                        let mut busy = Duration::ZERO;
+                        for &&(idx, w, s) in &mine {
+                            let t0 = Instant::now();
+                            let r = run_one(w, s, cfg);
+                            let dt = t0.elapsed();
+                            busy += dt;
+                            out.push((idx, r, dt));
+                        }
+                        (ShardStats { shard, cells: out.len(), busy }, out)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("campaign worker panicked")).collect()
+        });
+    let wall = start.elapsed();
+    let cpu = match (cpu_before, process_cpu_time()) {
+        (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+        _ => None,
+    };
+
+    per_shard.sort_by_key(|(s, _)| s.shard);
+    let shards: Vec<ShardStats> = per_shard.iter().map(|(s, _)| s.clone()).collect();
+    let mut merged: Vec<(usize, WorkloadResult, Duration)> =
+        per_shard.into_iter().flat_map(|(_, v)| v).collect();
+    merged.sort_by_key(|(idx, _, _)| *idx);
+
+    let timings = merged
+        .iter()
+        .map(|(idx, r, dt)| CellTiming {
+            cell: *idx,
+            workload: r.workload.clone(),
+            scheme: r.scheme.clone(),
+            elapsed: *dt,
+        })
+        .collect();
+    let results = merged.into_iter().map(|(_, r, _)| r).collect();
+    CampaignRun { results, timings, shards, jobs, wall, cpu }
+}
+
+/// Runs the full cross product on the [`env_jobs`] worker pool; results are
+/// grouped by workload then scheme (scheme order preserved within each
+/// workload), exactly as the serial runner produced them.
 pub fn run_all(
     workloads: &[&Workload],
     schemes: &[Scheme],
     cfg: &CampaignConfig,
 ) -> Vec<WorkloadResult> {
-    let mut out = Vec::with_capacity(workloads.len() * schemes.len());
-    for w in workloads {
-        for s in schemes {
-            out.push(run_one(w, s, cfg));
-        }
-    }
-    out
+    run_grid(workloads, schemes, cfg, env_jobs()).results
 }
 
 use pagecross_cpu::trace::TraceFactory;
@@ -112,7 +321,7 @@ pub fn env_scale() -> CampaignConfig {
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(1.0)
         .clamp(0.05, 100.0);
-    CampaignConfig { warmup_scale: scale, measure_scale: scale }
+    CampaignConfig { warmup_scale: scale, measure_scale: scale, ..Default::default() }
 }
 
 /// The default experiment workload set: a template-stratified slice of the
@@ -155,4 +364,132 @@ pub fn core_schemes(pf: PrefetcherKind) -> Vec<Scheme> {
 /// Extracts the per-workload IPC vector of one scheme, in workload order.
 pub fn ipcs_of(results: &[WorkloadResult], scheme: &str) -> Vec<f64> {
     results.iter().filter(|r| r.scheme == scheme).map(|r| r.report.ipc()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagecross_workloads::{suite, SuiteId};
+
+    fn tiny_cfg() -> CampaignConfig {
+        // Very short runs: these tests exercise orchestration, not fidelity.
+        CampaignConfig { warmup_scale: 0.02, measure_scale: 0.02, ..Default::default() }
+    }
+
+    fn small_grid() -> (Vec<&'static Workload>, Vec<Scheme>) {
+        let ws: Vec<&Workload> = suite(SuiteId::Gap).workloads().iter().take(3).collect();
+        (ws, core_schemes(PrefetcherKind::Berti))
+    }
+
+    #[test]
+    fn parallel_results_match_serial_bit_for_bit() {
+        let (ws, schemes) = small_grid();
+        let cfg = tiny_cfg();
+        let serial = run_grid(&ws, &schemes, &cfg, 1);
+        let par = run_grid(&ws, &schemes, &cfg, 4);
+        assert_eq!(serial.results.len(), par.results.len());
+        for (a, b) in serial.results.iter().zip(&par.results) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.report, b.report, "{}:{} diverged across worker counts", a.workload, a.scheme);
+        }
+    }
+
+    #[test]
+    fn grid_order_is_workload_major_scheme_minor() {
+        let (ws, schemes) = small_grid();
+        let run = run_grid(&ws, &schemes, &tiny_cfg(), 3);
+        let mut i = 0;
+        for w in &ws {
+            for s in &schemes {
+                assert_eq!(run.results[i].workload, w.name());
+                assert_eq!(run.results[i].scheme, s.label);
+                assert_eq!(run.timings[i].cell, i);
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn shards_cover_all_cells_exactly_once() {
+        let (ws, schemes) = small_grid();
+        let jobs = 4;
+        let run = run_grid(&ws, &schemes, &tiny_cfg(), jobs);
+        assert_eq!(run.jobs, jobs);
+        assert_eq!(run.shards.len(), jobs);
+        let total: usize = run.shards.iter().map(|s| s.cells).sum();
+        assert_eq!(total, ws.len() * schemes.len());
+        // Striping balances within ±1.
+        let min = run.shards.iter().map(|s| s.cells).min().unwrap();
+        let max = run.shards.iter().map(|s| s.cells).max().unwrap();
+        assert!(max - min <= 1, "striped shards must be balanced: {min}..{max}");
+    }
+
+    #[test]
+    fn seed_changes_results_deterministically() {
+        let (ws, schemes) = small_grid();
+        // Full-length runs: at micro scale the frame-allocation scramble
+        // may not surface in any counter.
+        let base = CampaignConfig::default();
+        let other = CampaignConfig { seed: 0xDEAD_BEEF, ..base };
+        let a = run_grid(&ws[..1], &schemes[..1], &base, 2);
+        let b = run_grid(&ws[..1], &schemes[..1], &base, 2);
+        let c = run_grid(&ws[..1], &schemes[..1], &other, 2);
+        assert_eq!(a.results[0].report, b.results[0].report, "same seed, same report");
+        assert_ne!(
+            a.results[0].report, c.results[0].report,
+            "a different campaign seed must change frame allocation"
+        );
+    }
+
+    #[test]
+    fn jobs_clamped_to_grid_size() {
+        let (ws, schemes) = small_grid();
+        let run = run_grid(&ws[..1], &schemes[..1], &tiny_cfg(), 64);
+        assert_eq!(run.jobs, 1, "one cell cannot use more than one worker");
+        assert_eq!(run.results.len(), 1);
+    }
+
+    #[test]
+    fn speedup_at_least_2x_on_4_workers() {
+        // Requires real cores; skipped on constrained CI boxes where the
+        // workers would just timeshare one CPU.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores < 4 {
+            eprintln!("skipping speedup check: only {cores} core(s) available");
+            return;
+        }
+        let ws: Vec<&Workload> = suite(SuiteId::Gap).workloads().iter().take(4).collect();
+        let schemes = core_schemes(PrefetcherKind::Berti);
+        let cfg = CampaignConfig::default();
+        let serial = run_grid(&ws, &schemes, &cfg, 1);
+        let par = run_grid(&ws, &schemes, &cfg, 4);
+        let wall_ratio = serial.wall.as_secs_f64() / par.wall.as_secs_f64();
+        assert!(
+            wall_ratio >= 2.0,
+            "expected ≥2x wall-clock speedup at 4 workers, got {:.2}x (serial {:.2?}, parallel {:.2?}, {})",
+            wall_ratio,
+            serial.wall,
+            par.wall,
+            par.timing_line()
+        );
+    }
+
+    #[test]
+    fn process_cpu_time_is_monotonic_on_linux() {
+        if let Some(a) = process_cpu_time() {
+            // Burn a little CPU, then re-read.
+            let mut x = 0u64;
+            for i in 0..20_000_000u64 {
+                x = x.wrapping_add(i ^ (x >> 3));
+            }
+            black_box_u64(x);
+            let b = process_cpu_time().expect("procfs disappeared");
+            assert!(b >= a, "CPU time went backwards: {a:?} -> {b:?}");
+        }
+    }
+
+    fn black_box_u64(v: u64) {
+        std::hint::black_box(v);
+    }
 }

@@ -7,12 +7,17 @@
 //!   simulation, full report;
 //! * `compare --workload <name> [--prefetcher p]` — Discard vs Permit vs
 //!   DRIPPER in one line;
-//! * `sweep --suite <id> [--prefetcher p]` — the compare row for every
-//!   seen workload of a suite.
+//! * `sweep --suite <id> [--prefetcher p] [--jobs n]` — the compare row for
+//!   every seen workload of a suite, computed on the parallel campaign
+//!   runner;
+//! * `campaign [--suite <id>] [--prefetcher p] [--jobs n] [--per-suite k]`
+//!   — a figure-style (workload × scheme) grid on the worker pool, with
+//!   per-experiment timing and the wall-clock/speedup summary.
 //!
 //! Argument parsing is hand-rolled (the workspace is dependency-minimal);
 //! the parsed command is a plain enum so it is unit-testable.
 
+use crate::campaign::{core_schemes, env_jobs, run_grid, CampaignConfig, CampaignRun, WorkloadResult};
 use pagecross_cpu::{L2PrefetcherKind, PgcPolicyKind, PrefetcherKind, SimulationBuilder};
 use pagecross_cpu::trace::TraceFactory;
 use pagecross_mem::HugePagePolicy;
@@ -41,6 +46,21 @@ pub enum Command {
         suite: SuiteId,
         /// L1D prefetcher.
         prefetcher: PrefetcherKind,
+        /// Worker threads (0 = `PAGECROSS_JOBS` / all cores).
+        jobs: usize,
+    },
+    /// Run a figure-style experiment grid on the parallel campaign runner.
+    Campaign {
+        /// Optional suite restriction (default: representative cross-suite
+        /// set).
+        suite: Option<SuiteId>,
+        /// L1D prefetcher.
+        prefetcher: PrefetcherKind,
+        /// Worker threads (0 = `PAGECROSS_JOBS` / all cores).
+        jobs: usize,
+        /// Cap on workloads taken per suite (`None` = all of a filtered
+        /// suite, or 4 per suite for the cross-suite set).
+        per_suite: Option<usize>,
     },
     /// Print usage.
     Help,
@@ -90,6 +110,17 @@ impl std::fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+fn parse_jobs(s: Option<&str>) -> Result<usize, CliError> {
+    match s {
+        None => Ok(0), // 0 = resolve via env_jobs() at execution time
+        Some(p) => p
+            .parse::<usize>()
+            .ok()
+            .filter(|&j| j >= 1)
+            .ok_or_else(|| CliError(format!("--jobs expects a positive count, got '{p}'"))),
+    }
+}
 
 fn parse_suite(s: &str) -> Result<SuiteId, CliError> {
     SuiteId::ALL
@@ -201,6 +232,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 get("suite").ok_or_else(|| CliError("sweep requires --suite <id>".into()))?,
             )?,
             prefetcher: get("prefetcher").map(parse_prefetcher).transpose()?.unwrap_or(PrefetcherKind::Berti),
+            jobs: parse_jobs(get("jobs"))?,
+        }),
+        "campaign" => Ok(Command::Campaign {
+            suite: get("suite").map(parse_suite).transpose()?,
+            prefetcher: get("prefetcher").map(parse_prefetcher).transpose()?.unwrap_or(PrefetcherKind::Berti),
+            jobs: parse_jobs(get("jobs"))?,
+            per_suite: get("per-suite")
+                .map(|p| {
+                    p.parse::<usize>()
+                        .ok()
+                        .filter(|&k| k >= 1)
+                        .ok_or_else(|| {
+                            CliError(format!("--per-suite expects a positive count, got '{p}'"))
+                        })
+                })
+                .transpose()?,
         }),
         other => Err(CliError(format!("unknown subcommand '{other}' (try 'help')"))),
     }
@@ -217,9 +264,16 @@ USAGE:
                 [--l2 none|spp|ipcp|bop] [--huge <fraction>]
                 [--warmup <n>] [--instructions <n>]
   pagecross compare --workload <name> [--prefetcher <p>]
-  pagecross sweep --suite <id> [--prefetcher <p>]
+  pagecross sweep --suite <id> [--prefetcher <p>] [--jobs <n>]
+  pagecross campaign [--suite <id>] [--prefetcher <p>] [--jobs <n>] [--per-suite <k>]
 
 Suites: spec06 spec17 gap ligra parsec gkb5 qmm_int qmm_fp
+
+Campaigns run on a worker pool: --jobs (or PAGECROSS_JOBS) sets the
+thread count, defaulting to all available cores. Results are
+deterministic for a given seed regardless of the worker count.
+--per-suite caps the workloads taken per suite (default: all of a
+filtered --suite, or 4 per suite for the cross-suite set).
 ";
 
 fn find_workload(name: &str) -> Result<&'static Workload, CliError> {
@@ -231,27 +285,31 @@ fn find_workload(name: &str) -> Result<&'static Workload, CliError> {
     Err(CliError(format!("unknown workload '{name}' (use 'pagecross list')")))
 }
 
-fn run_one(w: &Workload, pf: PrefetcherKind, policy: PgcPolicyKind) -> pagecross_cpu::Report {
-    let (warm, measure) = w.default_lengths();
-    SimulationBuilder::new()
-        .prefetcher(pf)
-        .pgc_policy(policy)
-        .warmup(warm)
-        .instructions(measure)
-        .run_workload(w)
-}
-
-fn compare_line(w: &Workload, pf: PrefetcherKind) -> String {
-    let d = run_one(w, pf, PgcPolicyKind::DiscardPgc).ipc();
-    let p = run_one(w, pf, PgcPolicyKind::PermitPgc).ipc();
-    let x = run_one(w, pf, PgcPolicyKind::Dripper).ipc();
+/// Formats the discard/permit/dripper row from three grid-ordered cell
+/// results of one workload.
+fn compare_row(cells: &[WorkloadResult]) -> String {
+    let d = cells[0].report.ipc();
+    let p = cells[1].report.ipc();
+    let x = cells[2].report.ipc();
     format!(
         "{:<14} discard ipc={:.3}  permit {:+.2}%  dripper {:+.2}%",
-        w.name(),
+        cells[0].workload,
         d,
         (p / d - 1.0) * 100.0,
         (x / d - 1.0) * 100.0
     )
+}
+
+/// Runs the three core policies for `workloads` on the worker pool and
+/// prints one compare row per workload. `jobs == 0` resolves via
+/// [`env_jobs`].
+fn run_compare_grid(workloads: &[&Workload], pf: PrefetcherKind, jobs: usize) -> CampaignRun {
+    let jobs = if jobs == 0 { env_jobs() } else { jobs };
+    let run = run_grid(workloads, &core_schemes(pf), &CampaignConfig::default(), jobs);
+    for cells in run.results.chunks(3) {
+        println!("{}", compare_row(cells));
+    }
+    run
 }
 
 /// Executes a parsed command, printing to stdout. Returns an exit code.
@@ -315,7 +373,8 @@ pub fn execute(cmd: Command) -> i32 {
         }
         Command::Compare { workload, prefetcher } => match find_workload(&workload) {
             Ok(w) => {
-                println!("{}", compare_line(w, prefetcher));
+                // The three schemes run concurrently on the pool.
+                run_compare_grid(&[w], prefetcher, 0);
                 0
             }
             Err(e) => {
@@ -323,10 +382,34 @@ pub fn execute(cmd: Command) -> i32 {
                 2
             }
         },
-        Command::Sweep { suite: id, prefetcher } => {
-            for w in seen_workloads().into_iter().filter(|w| w.suite() == id) {
-                println!("{}", compare_line(w, prefetcher));
+        Command::Sweep { suite: id, prefetcher, jobs } => {
+            let ws: Vec<&Workload> =
+                seen_workloads().into_iter().filter(|w| w.suite() == id).collect();
+            let run = run_compare_grid(&ws, prefetcher, jobs);
+            println!("{}", run.timing_line());
+            0
+        }
+        Command::Campaign { suite: filter, prefetcher, jobs, per_suite } => {
+            let ws: Vec<&Workload> = match filter {
+                Some(id) => seen_workloads()
+                    .into_iter()
+                    .filter(|w| w.suite() == id)
+                    .take(per_suite.unwrap_or(usize::MAX))
+                    .collect(),
+                None => pagecross_workloads::representative_seen(per_suite.unwrap_or(4)),
+            };
+            let run = run_compare_grid(&ws, prefetcher, jobs);
+            println!();
+            for t in &run.timings {
+                println!(
+                    "[timing] {:<14} {:<12} {:>10.2?}",
+                    t.workload, t.scheme, t.elapsed
+                );
             }
+            for s in &run.shards {
+                println!("[shard {}] {} cells, busy {:.2?}", s.shard, s.cells, s.busy);
+            }
+            println!("{}", run.timing_line());
             0
         }
     }
@@ -396,6 +479,36 @@ mod tests {
         };
         assert_eq!(a.prefetcher, PrefetcherKind::Berti);
         assert_eq!(a.policy, PgcPolicyKind::Dripper);
+    }
+
+    #[test]
+    fn sweep_and_campaign_parse_jobs() {
+        assert_eq!(
+            parse(&argv("sweep --suite gap --jobs 8")).unwrap(),
+            Command::Sweep { suite: SuiteId::Gap, prefetcher: PrefetcherKind::Berti, jobs: 8 }
+        );
+        assert_eq!(
+            parse(&argv("campaign --suite gap --prefetcher bop --jobs 4 --per-suite 2")).unwrap(),
+            Command::Campaign {
+                suite: Some(SuiteId::Gap),
+                prefetcher: PrefetcherKind::Bop,
+                jobs: 4,
+                per_suite: Some(2),
+            }
+        );
+        // Defaults: jobs 0 (auto), representative cross-suite set of 4.
+        assert_eq!(
+            parse(&argv("campaign")).unwrap(),
+            Command::Campaign {
+                suite: None,
+                prefetcher: PrefetcherKind::Berti,
+                jobs: 0,
+                per_suite: None,
+            }
+        );
+        assert!(parse(&argv("campaign --jobs 0")).is_err());
+        assert!(parse(&argv("campaign --jobs many")).is_err());
+        assert!(parse(&argv("campaign --per-suite 0")).is_err());
     }
 
     #[test]

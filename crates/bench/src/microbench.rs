@@ -1,0 +1,272 @@
+//! A small in-repo micro-benchmark harness (the hermetic replacement for
+//! `criterion`).
+//!
+//! Timing uses [`std::time::Instant`] (monotonic). Each benchmark body is
+//! run a configurable number of warm-up iterations, then sampled N times;
+//! the reported figure is the **median** sample, which is robust to
+//! scheduler noise without criterion's bootstrap machinery. Throughput is
+//! derived from an optional per-iteration element count.
+//!
+//! The API mirrors the criterion surface the bench targets already use
+//! (`benchmark_group` → `bench_function(|b| b.iter(..))`), so experiment
+//! code ports mechanically:
+//!
+//! ```
+//! use pagecross_bench::microbench::{black_box, Micro};
+//!
+//! let mut m = Micro::from_env();
+//! let mut g = m.benchmark_group("example");
+//! g.throughput(1024);
+//! g.bench_function("sum", |b| {
+//!     b.iter(|| (0..1024u64).map(black_box).sum::<u64>())
+//! });
+//! g.finish();
+//! ```
+//!
+//! Environment knobs: `PAGECROSS_BENCH_SAMPLES` (default 11) and
+//! `PAGECROSS_BENCH_WARMUP` (default 3) control sample and warm-up counts
+//! globally.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness-wide options.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroOpts {
+    /// Untimed warm-up iterations before sampling.
+    pub warmup: u32,
+    /// Timed samples per benchmark; the median is reported.
+    pub samples: u32,
+}
+
+impl MicroOpts {
+    /// Options from the environment (see module docs), with defaults
+    /// `warmup = 3`, `samples = 11`.
+    pub fn from_env() -> Self {
+        let read = |key: &str, default: u32| {
+            std::env::var(key).ok().and_then(|s| s.parse::<u32>().ok()).unwrap_or(default).max(1)
+        };
+        Self {
+            warmup: read("PAGECROSS_BENCH_WARMUP", 3),
+            samples: read("PAGECROSS_BENCH_SAMPLES", 11),
+        }
+    }
+}
+
+/// The harness root: owns the options and prints results.
+#[derive(Clone, Debug)]
+pub struct Micro {
+    opts: MicroOpts,
+}
+
+impl Micro {
+    /// Harness with explicit options.
+    pub fn new(opts: MicroOpts) -> Self {
+        Self { opts }
+    }
+
+    /// Harness configured from the environment.
+    pub fn from_env() -> Self {
+        Self::new(MicroOpts::from_env())
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> Group {
+        Group { name: name.to_string(), throughput_elems: None, opts: self.opts }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput denominator.
+#[derive(Clone, Debug)]
+pub struct Group {
+    name: String,
+    throughput_elems: Option<u64>,
+    opts: MicroOpts,
+}
+
+impl Group {
+    /// Sets the per-iteration element count used for throughput reporting.
+    pub fn throughput(&mut self, elements: u64) {
+        self.throughput_elems = Some(elements);
+    }
+
+    /// Overrides the sample count for this group (criterion's
+    /// `sample_size` analogue for slow end-to-end benches).
+    pub fn sample_size(&mut self, samples: u32) {
+        self.opts.samples = samples.max(1);
+    }
+
+    /// Runs one benchmark: warm-up, then median-of-N sampling, then a
+    /// one-line report on stdout.
+    pub fn bench_function(&mut self, name: &str, mut body: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher { durations: Vec::new(), mode: Mode::Warmup };
+        for _ in 0..self.opts.warmup {
+            body(&mut b);
+        }
+        b.mode = Mode::Sample;
+        for _ in 0..self.opts.samples {
+            body(&mut b);
+        }
+        let stats = SampleStats::from_durations(&b.durations);
+        println!("{}", stats.report_line(&self.name, name, self.throughput_elems));
+    }
+
+    /// Ends the group (kept for criterion-API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Warmup,
+    Sample,
+}
+
+/// Passed to each benchmark body; times the closure given to [`Bencher::iter`].
+#[derive(Clone, Debug)]
+pub struct Bencher {
+    durations: Vec<Duration>,
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (monotonic clock); warm-up runs are
+    /// executed but not recorded.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        black_box(f());
+        let elapsed = start.elapsed();
+        if self.mode == Mode::Sample {
+            self.durations.push(elapsed);
+        }
+    }
+}
+
+/// Summary statistics over the recorded samples.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleStats {
+    /// Median sample.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl SampleStats {
+    /// Median/min/max over `durations` (empty input yields zeros).
+    pub fn from_durations(durations: &[Duration]) -> Self {
+        if durations.is_empty() {
+            return Self { median: Duration::ZERO, min: Duration::ZERO, max: Duration::ZERO, n: 0 };
+        }
+        let mut sorted: Vec<Duration> = durations.to_vec();
+        sorted.sort();
+        let mid = sorted.len() / 2;
+        let median = if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2
+        } else {
+            sorted[mid]
+        };
+        Self { median, min: sorted[0], max: *sorted.last().unwrap(), n: sorted.len() }
+    }
+
+    /// Formats the stable single-line report used by the bench targets.
+    pub fn report_line(&self, group: &str, name: &str, elements: Option<u64>) -> String {
+        let mut line = format!(
+            "[micro] {group}/{name:<28} median {}  (min {}, max {}, n={})",
+            fmt_duration(self.median),
+            fmt_duration(self.min),
+            fmt_duration(self.max),
+            self.n
+        );
+        if let Some(elems) = elements {
+            let secs = self.median.as_secs_f64();
+            if secs > 0.0 {
+                line.push_str(&format!("  {}", fmt_rate(elems as f64 / secs)));
+            }
+        }
+        line
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} Gelem/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} Melem/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} Kelem/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} elem/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        let d = |ms: u64| Duration::from_millis(ms);
+        let odd = SampleStats::from_durations(&[d(5), d(1), d(9)]);
+        assert_eq!(odd.median, d(5));
+        let even = SampleStats::from_durations(&[d(1), d(3), d(5), d(7)]);
+        assert_eq!(even.median, d(4));
+        assert_eq!(even.min, d(1));
+        assert_eq!(even.max, d(7));
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let s = SampleStats::from_durations(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.median, Duration::ZERO);
+    }
+
+    #[test]
+    fn warmup_runs_are_not_recorded() {
+        let mut m = Micro::new(MicroOpts { warmup: 3, samples: 5 });
+        let mut g = m.benchmark_group("t");
+        let runs = std::cell::Cell::new(0u32);
+        g.bench_function("count", |b| {
+            b.iter(|| runs.set(runs.get() + 1));
+        });
+        // warmup + samples bodies each executed exactly once
+        assert_eq!(runs.get(), 8);
+    }
+
+    #[test]
+    fn report_line_includes_throughput() {
+        let s = SampleStats {
+            median: Duration::from_micros(10),
+            min: Duration::from_micros(9),
+            max: Duration::from_micros(12),
+            n: 11,
+        };
+        let line = s.report_line("grp", "case", Some(1024));
+        assert!(line.contains("grp/case"), "{line}");
+        assert!(line.contains("Melem/s"), "{line}");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

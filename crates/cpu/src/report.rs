@@ -3,7 +3,7 @@
 use pagecross_types::{CacheStats, CoreStats, PrefetchStats, TlbStats, WalkStats};
 
 /// The result of one single-core simulation.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Report {
     /// Workload name.
     pub workload: String,
@@ -111,7 +111,7 @@ impl Report {
 }
 
 /// The result of one multi-core mix simulation.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MixReport {
     /// Per-core workload names.
     pub workloads: Vec<String>,

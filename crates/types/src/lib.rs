@@ -30,6 +30,7 @@
 
 pub mod addr;
 pub mod counter;
+pub mod prop;
 pub mod request;
 pub mod rng;
 pub mod snapshot;

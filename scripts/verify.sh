@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Hermetic build-and-test gate.
+#
+# Proves the workspace builds and passes its full test suite with NO access
+# to any crate registry: cargo runs offline against an empty, throwaway
+# CARGO_HOME, so any dependency that is not vendored in-repo fails the
+# build immediately. This is the enforcement mechanism behind the
+# zero-external-dependency policy (see DESIGN.md).
+#
+# Usage: scripts/verify.sh [--keep-target]
+#   --keep-target  reuse the existing target/ dir (faster local runs);
+#                  by default a scratch target dir is used so the check
+#                  cannot be satisfied by stale pre-downloaded artifacts.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+KEEP_TARGET=0
+for arg in "$@"; do
+    case "$arg" in
+        --keep-target) KEEP_TARGET=1 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+# Empty CARGO_HOME: no registry index, no cached .crate files, no config.
+export CARGO_HOME="$SCRATCH/cargo-home"
+mkdir -p "$CARGO_HOME"
+
+if [ "$KEEP_TARGET" -eq 0 ]; then
+    export CARGO_TARGET_DIR="$SCRATCH/target"
+fi
+
+echo "== verify: offline release build (empty registry) =="
+cargo build --release --offline --workspace
+
+echo "== verify: offline test suite =="
+cargo test -q --offline --workspace
+
+echo "== verify: OK =="

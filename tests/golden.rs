@@ -1,0 +1,156 @@
+//! Golden-stats regression tests: small seeded workloads run end-to-end
+//! with their exact counter values locked. The simulator is deterministic
+//! bit-for-bit (every stochastic choice draws from `Rng64`), so any
+//! divergence here means simulated *behaviour* changed — not just
+//! performance. Perf work must keep these green; intentional model changes
+//! must update the goldens explicitly.
+//!
+//! Regenerate with:
+//! `cargo run -p pagecross-bench --example golden_capture`
+
+use pagecross::cpu::{PgcPolicyKind, PrefetcherKind, Report, SimulationBuilder};
+use pagecross::workloads::{suite, SuiteId};
+
+/// Locked counters for one (workload, prefetcher, policy) configuration,
+/// run with warmup 5 000 / measured 20 000 and the default seed.
+struct Golden {
+    workload: &'static str,
+    suite: SuiteId,
+    index: usize,
+    prefetcher: PrefetcherKind,
+    policy: PgcPolicyKind,
+    cycles: u64,
+    l1d_demand_accesses: u64,
+    l1d_demand_misses: u64,
+    dtlb_misses: u64,
+    stlb_misses: u64,
+    pgc_candidates: u64,
+    pgc_issued: u64,
+    pgc_discarded: u64,
+    demand_walks: u64,
+    /// Derived ratios, locked as 6-decimal strings.
+    ipc: &'static str,
+    l1d_mpki: &'static str,
+    dtlb_mpki: &'static str,
+}
+
+const GOLDENS: &[Golden] = &[
+    Golden {
+        workload: "gap.s00",
+        suite: SuiteId::Gap,
+        index: 0,
+        prefetcher: PrefetcherKind::Berti,
+        policy: PgcPolicyKind::Dripper,
+        cycles: 38_087,
+        l1d_demand_accesses: 7_463,
+        l1d_demand_misses: 1_272,
+        dtlb_misses: 845,
+        stlb_misses: 466,
+        pgc_candidates: 857,
+        pgc_issued: 231,
+        pgc_discarded: 492,
+        demand_walks: 466,
+        ipc: "0.525114",
+        l1d_mpki: "63.600000",
+        dtlb_mpki: "42.250000",
+    },
+    Golden {
+        workload: "spec06.s00",
+        suite: SuiteId::Spec06,
+        index: 0,
+        prefetcher: PrefetcherKind::Berti,
+        policy: PgcPolicyKind::PermitPgc,
+        cycles: 11_782,
+        l1d_demand_accesses: 7_006,
+        l1d_demand_misses: 0,
+        dtlb_misses: 0,
+        stlb_misses: 0,
+        pgc_candidates: 261,
+        pgc_issued: 54,
+        pgc_discarded: 0,
+        demand_walks: 0,
+        ipc: "1.697505",
+        l1d_mpki: "0.000000",
+        dtlb_mpki: "0.000000",
+    },
+    Golden {
+        workload: "ligra.s01",
+        suite: SuiteId::Ligra,
+        index: 1,
+        prefetcher: PrefetcherKind::Bop,
+        policy: PgcPolicyKind::Dripper,
+        cycles: 44_018,
+        l1d_demand_accesses: 7_557,
+        l1d_demand_misses: 1_643,
+        dtlb_misses: 959,
+        stlb_misses: 539,
+        pgc_candidates: 578,
+        pgc_issued: 16,
+        pgc_discarded: 560,
+        demand_walks: 539,
+        ipc: "0.454360",
+        l1d_mpki: "82.150000",
+        dtlb_mpki: "47.950000",
+    },
+    Golden {
+        workload: "qmm_int.s00",
+        suite: SuiteId::QmmInt,
+        index: 0,
+        prefetcher: PrefetcherKind::Ipcp,
+        policy: PgcPolicyKind::DiscardPgc,
+        cycles: 181_728,
+        l1d_demand_accesses: 6_435,
+        l1d_demand_misses: 2_758,
+        dtlb_misses: 2_462,
+        stlb_misses: 526,
+        pgc_candidates: 533,
+        pgc_issued: 0,
+        pgc_discarded: 533,
+        demand_walks: 526,
+        ipc: "0.110055",
+        l1d_mpki: "137.900000",
+        dtlb_mpki: "123.100000",
+    },
+];
+
+fn run(g: &Golden) -> Report {
+    use pagecross::cpu::trace::TraceFactory;
+    let w = &suite(g.suite).workloads()[g.index];
+    assert_eq!(w.name(), g.workload, "registry order changed; regenerate goldens");
+    SimulationBuilder::new()
+        .prefetcher(g.prefetcher)
+        .pgc_policy(g.policy)
+        .warmup(5_000)
+        .instructions(20_000)
+        .run_workload(w)
+}
+
+#[test]
+fn golden_counters_are_stable() {
+    for g in GOLDENS {
+        let r = run(g);
+        let tag = format!("{} / {:?} / {:?}", g.workload, g.prefetcher, g.policy);
+        assert_eq!(r.core.instructions, 20_000, "{tag}: measured length");
+        assert_eq!(r.core.cycles, g.cycles, "{tag}: cycles");
+        assert_eq!(r.l1d.demand_accesses, g.l1d_demand_accesses, "{tag}: L1D accesses");
+        assert_eq!(r.l1d.demand_misses, g.l1d_demand_misses, "{tag}: L1D misses");
+        assert_eq!(r.dtlb.misses, g.dtlb_misses, "{tag}: dTLB misses");
+        assert_eq!(r.stlb.misses, g.stlb_misses, "{tag}: sTLB misses");
+        assert_eq!(r.prefetch.pgc_candidates, g.pgc_candidates, "{tag}: PGC candidates");
+        assert_eq!(r.prefetch.pgc_issued, g.pgc_issued, "{tag}: DRIPPER/policy issues");
+        assert_eq!(r.prefetch.pgc_discarded, g.pgc_discarded, "{tag}: DRIPPER/policy discards");
+        assert_eq!(r.walks.demand_walks, g.demand_walks, "{tag}: demand walks");
+        assert_eq!(format!("{:.6}", r.ipc()), g.ipc, "{tag}: IPC");
+        assert_eq!(format!("{:.6}", r.l1d_mpki()), g.l1d_mpki, "{tag}: L1D MPKI");
+        assert_eq!(format!("{:.6}", r.dtlb_mpki()), g.dtlb_mpki, "{tag}: dTLB MPKI");
+    }
+}
+
+/// The same configuration run twice produces the identical report — the
+/// precondition for the golden values (and the parallel campaign merge)
+/// to be meaningful.
+#[test]
+fn repeat_runs_are_bit_identical() {
+    let g = &GOLDENS[0];
+    assert_eq!(run(g), run(g));
+}

@@ -1,9 +1,14 @@
 //! Model-based property tests: the optimised structures must agree with
-//! naive reference models over arbitrary operation sequences.
+//! naive reference models over arbitrary operation sequences. Runs on the
+//! in-repo harness ([`pagecross::types::prop`]).
 
-use pagecross::mem::{Cache, CacheConfig, FillKind, Tlb, TlbConfig, Translation};
+use pagecross::mem::{
+    Cache, CacheConfig, FillKind, FrameAllocator, HugePagePolicy, Mshr, PageWalker, PscConfig,
+    Tlb, TlbConfig, Translation, Vmem,
+};
+use pagecross::types::prop::{check, vec_of, Config};
+use pagecross::types::{prop_assert, prop_assert_eq};
 use pagecross::types::{LineAddr, PageSize, VirtAddr};
-use proptest::prelude::*;
 
 /// A naive set-associative LRU cache: explicit per-set recency vectors.
 struct RefCache {
@@ -58,83 +63,254 @@ impl RefTlb {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A naive MSHR file: a flat list scanned linearly, with the documented
+/// semantics spelled out operation by operation — lazy expiry, merge on
+/// lookup, and earliest-completing replacement (plus a fixed retry
+/// penalty) when full.
+struct RefMshr {
+    capacity: usize,
+    /// (line, completes_at, demand), insertion order.
+    inflight: Vec<(u64, u64, bool)>,
+    merges: u64,
+    full_stalls: u64,
+}
 
-    /// The production cache and the reference model agree on every
-    /// hit/miss outcome and every eviction victim, for arbitrary
-    /// interleavings of demand accesses and fills.
-    #[test]
-    fn cache_matches_reference_model(
-        ops in prop::collection::vec((0u64..96, 0u8..2), 1..500)
-    ) {
-        // 8 sets x 2 ways.
-        let mut dut = Cache::new(
-            "dut",
-            CacheConfig { size_bytes: 1024, ways: 2, latency: 1, mshr_entries: 4 },
-        );
-        let mut model = RefCache::new(8, 2);
-        for (line, op) in ops {
-            let l = LineAddr(line);
-            match op {
-                0 => {
-                    let dut_hit = dut.demand_access(l, false).hit;
-                    let model_hit = model.access(line);
-                    prop_assert_eq!(dut_hit, model_hit, "hit/miss mismatch on {}", line);
-                }
-                _ => {
-                    let dut_victim = dut.fill(l, FillKind::Demand, false).map(|e| e.line.raw());
-                    let model_victim = model.fill(line);
-                    prop_assert_eq!(dut_victim, model_victim, "victim mismatch on {}", line);
+/// Mirror of the production `Mshr::FULL_PENALTY` constant.
+const REF_MSHR_FULL_PENALTY: u64 = 8;
+
+impl RefMshr {
+    fn new(capacity: usize) -> Self {
+        Self { capacity, inflight: Vec::new(), merges: 0, full_stalls: 0 }
+    }
+
+    fn expire(&mut self, now: u64) {
+        self.inflight.retain(|&(_, completes, _)| completes > now);
+    }
+
+    fn lookup(&mut self, line: u64, now: u64) -> Option<u64> {
+        self.expire(now);
+        let hit = self.inflight.iter().find(|&&(l, _, _)| l == line).map(|&(_, c, _)| c);
+        if hit.is_some() {
+            self.merges += 1;
+        }
+        hit
+    }
+
+    fn allocate(&mut self, line: u64, now: u64, completes_at: u64, demand: bool) -> u64 {
+        self.expire(now);
+        if self.inflight.len() >= self.capacity {
+            self.full_stalls += 1;
+            let delayed = completes_at + REF_MSHR_FULL_PENALTY;
+            if let Some(slot) = self.inflight.iter_mut().min_by_key(|&&mut (_, c, _)| c) {
+                *slot = (line, delayed, demand);
+            }
+            return delayed;
+        }
+        self.inflight.push((line, completes_at, demand));
+        completes_at
+    }
+
+    fn occupancy(&mut self, now: u64) -> usize {
+        self.expire(now);
+        self.inflight.len()
+    }
+
+    fn demand_occupancy(&mut self, now: u64) -> usize {
+        self.expire(now);
+        self.inflight.iter().filter(|&&(_, _, d)| d).count()
+    }
+}
+
+/// The production cache and the reference model agree on every hit/miss
+/// outcome and every eviction victim, for arbitrary interleavings of
+/// demand accesses and fills.
+#[test]
+fn cache_matches_reference_model() {
+    check(
+        &Config::cases(48),
+        |rng| vec_of(rng, 1, 500, |r| (r.below(96), r.below(2) as u8)),
+        |ops| {
+            // 8 sets x 2 ways.
+            let mut dut = Cache::new(
+                "dut",
+                CacheConfig { size_bytes: 1024, ways: 2, latency: 1, mshr_entries: 4 },
+            );
+            let mut model = RefCache::new(8, 2);
+            for &(line, op) in ops {
+                let l = LineAddr(line);
+                match op {
+                    0 => {
+                        let dut_hit = dut.demand_access(l, false).hit;
+                        let model_hit = model.access(line);
+                        prop_assert_eq!(dut_hit, model_hit, "hit/miss mismatch on {}", line);
+                    }
+                    _ => {
+                        let dut_victim =
+                            dut.fill(l, FillKind::Demand, false).map(|e| e.line.raw());
+                        let model_victim = model.fill(line);
+                        prop_assert_eq!(dut_victim, model_victim, "victim mismatch on {}", line);
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// The production TLB agrees with the reference model on lookups and
-    /// occupancy for arbitrary fill/lookup interleavings over 4 KB pages.
-    #[test]
-    fn tlb_matches_reference_model(
-        ops in prop::collection::vec((0u64..64, 0u8..2), 1..400)
-    ) {
-        // 4 sets x 4 ways = 16 entries.
-        let mut dut = Tlb::new("dut", TlbConfig { entries: 16, ways: 4, latency: 1 });
-        let mut model = RefTlb::new(4, 4);
-        for (vpn, op) in ops {
-            let va = VirtAddr::new(vpn << 12);
-            match op {
-                0 => {
-                    let dut_hit = dut.lookup(va).is_some();
-                    let model_hit = model.inner.access(vpn);
-                    prop_assert_eq!(dut_hit, model_hit, "lookup mismatch on vpn {}", vpn);
+/// The production TLB agrees with the reference model on lookups and
+/// occupancy for arbitrary fill/lookup interleavings over 4 KB pages.
+#[test]
+fn tlb_matches_reference_model() {
+    check(
+        &Config::cases(48),
+        |rng| vec_of(rng, 1, 400, |r| (r.below(64), r.below(2) as u8)),
+        |ops| {
+            // 4 sets x 4 ways = 16 entries.
+            let mut dut = Tlb::new("dut", TlbConfig { entries: 16, ways: 4, latency: 1 });
+            let mut model = RefTlb::new(4, 4);
+            for &(vpn, op) in ops {
+                let va = VirtAddr::new(vpn << 12);
+                match op {
+                    0 => {
+                        let dut_hit = dut.lookup(va).is_some();
+                        let model_hit = model.inner.access(vpn);
+                        prop_assert_eq!(dut_hit, model_hit, "lookup mismatch on vpn {}", vpn);
+                    }
+                    _ => {
+                        dut.fill(
+                            Translation { vpn, pfn: vpn + 100, size: PageSize::Base4K },
+                            false,
+                        );
+                        model.inner.fill(vpn);
+                    }
                 }
-                _ => {
-                    dut.fill(Translation { vpn, pfn: vpn + 100, size: PageSize::Base4K }, false);
-                    model.inner.fill(vpn);
+                let model_occ: usize = model.inner.resident.iter().map(|s| s.len()).sum();
+                prop_assert_eq!(dut.occupancy(), model_occ, "occupancy mismatch");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Prefetch fills obey the same placement rules as demand fills: after
+/// any interleaving, the resident set is identical whichever fill kind
+/// was used (metadata differs, placement must not).
+#[test]
+fn fill_kind_does_not_change_placement() {
+    check(
+        &Config::cases(48),
+        |rng| vec_of(rng, 1, 300, |r| r.below(64)),
+        |ops| {
+            let cfg = CacheConfig { size_bytes: 1024, ways: 2, latency: 1, mshr_entries: 4 };
+            let mut a = Cache::new("a", cfg);
+            let mut b = Cache::new("b", cfg);
+            for &line in ops {
+                a.fill(LineAddr(line), FillKind::Demand, false);
+                b.fill(LineAddr(line), FillKind::PrefetchPageCross, false);
+            }
+            for &line in ops {
+                prop_assert_eq!(a.probe(LineAddr(line)), b.probe(LineAddr(line)));
+            }
+            prop_assert_eq!(a.occupancy(), b.occupancy());
+            Ok(())
+        },
+    );
+}
+
+/// The production MSHR agrees with the naive reference on every lookup
+/// result, allocation completion time, merge/stall counter, and both
+/// occupancy views, for arbitrary interleavings of lookups and
+/// demand/prefetch allocations over non-decreasing time.
+#[test]
+fn mshr_matches_reference_model() {
+    check(
+        &Config::cases(48),
+        // Small time steps relative to the 25-cycle fill latency so the
+        // file regularly fills up and exercises the replacement path.
+        |rng| vec_of(rng, 1, 300, |r| ((r.below(16), r.below(8)), (r.below(3) as u8, r.below(2) == 1))),
+        |ops| {
+            let mut dut = Mshr::new(6);
+            let mut model = RefMshr::new(6);
+            let mut now = 0u64;
+            for &((line, dt), (op, demand)) in ops {
+                now += dt; // time never goes backwards
+                let l = LineAddr(line);
+                match op {
+                    0 => {
+                        let dut_hit = dut.lookup(l, now);
+                        let model_hit = model.lookup(line, now);
+                        prop_assert_eq!(dut_hit, model_hit, "lookup mismatch on {} @{}", line, now);
+                    }
+                    _ => {
+                        let completes = now + 25;
+                        let dut_done = dut.allocate_kind(l, now, completes, demand);
+                        let model_done = model.allocate(line, now, completes, demand);
+                        prop_assert_eq!(
+                            dut_done, model_done,
+                            "completion mismatch on {} @{}", line, now
+                        );
+                    }
+                }
+                prop_assert_eq!(dut.merges, model.merges, "merge counter diverged");
+                prop_assert_eq!(dut.full_stalls, model.full_stalls, "stall counter diverged");
+                prop_assert_eq!(dut.occupancy(now) as usize, model.occupancy(now));
+                prop_assert_eq!(
+                    dut.demand_occupancy(now) as usize,
+                    model.demand_occupancy(now)
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The page-table walker agrees with a flat reference map: the first walk
+/// of a page defines its translation, and every later walk of that page —
+/// whatever the PSC state — reproduces it exactly. Frames are never
+/// shared between pages, and walk depth shrinks monotonically as PSCs
+/// warm (1..=5 refs, with repeat walks of the same page depth ≤ 2).
+#[test]
+fn walker_matches_flat_reference_map() {
+    check(
+        &Config::cases(48),
+        // Small VPN universe so sequences revisit pages through warm PSCs.
+        |rng| vec_of(rng, 1, 120, |r| r.below(512) << 12 | (r.below(8) << 6)),
+        |vas| {
+            let mut fa = FrameAllocator::new(4u64 << 30, 23);
+            let mut w = PageWalker::new(
+                PscConfig { l5_entries: 1, l4_entries: 2, l3_entries: 8, l2_entries: 32 },
+                &mut fa,
+            );
+            let mut vm = Vmem::new(HugePagePolicy::None, 29);
+            let mut flat: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+            for &raw in vas {
+                let va = VirtAddr::new(raw);
+                let vpn = raw >> 12;
+                let plan = w.walk(va, &mut vm, &mut fa);
+                prop_assert!((1..=5).contains(&plan.refs.len()));
+                prop_assert_eq!(plan.translation.vpn, vpn, "walk must translate its own page");
+                match flat.get(&vpn) {
+                    Some(&pfn) => {
+                        prop_assert_eq!(
+                            plan.translation.pfn, pfn,
+                            "walk of vpn {} changed an established translation", vpn
+                        );
+                        // A revisited 4 KB page has a warm PSC-L2 entry (the
+                        // PSCs are large enough for this VPN universe), so
+                        // at most the leaf PT reference plus one level.
+                        prop_assert!(
+                            plan.refs.len() <= 2,
+                            "repeat walk of vpn {} took {} refs", vpn, plan.refs.len()
+                        );
+                    }
+                    None => {
+                        flat.insert(vpn, plan.translation.pfn);
+                    }
                 }
             }
-            let model_occ: usize = model.inner.resident.iter().map(|s| s.len()).sum();
-            prop_assert_eq!(dut.occupancy(), model_occ, "occupancy mismatch");
-        }
-    }
-
-    /// Prefetch fills obey the same placement rules as demand fills: after
-    /// any interleaving, the resident set is identical whichever fill kind
-    /// was used (metadata differs, placement must not).
-    #[test]
-    fn fill_kind_does_not_change_placement(
-        ops in prop::collection::vec(0u64..64, 1..300)
-    ) {
-        let cfg = CacheConfig { size_bytes: 1024, ways: 2, latency: 1, mshr_entries: 4 };
-        let mut a = Cache::new("a", cfg);
-        let mut b = Cache::new("b", cfg);
-        for &line in &ops {
-            a.fill(LineAddr(line), FillKind::Demand, false);
-            b.fill(LineAddr(line), FillKind::PrefetchPageCross, false);
-        }
-        for &line in &ops {
-            prop_assert_eq!(a.probe(LineAddr(line)), b.probe(LineAddr(line)));
-        }
-        prop_assert_eq!(a.occupancy(), b.occupancy());
-    }
+            let frames: std::collections::HashSet<u64> = flat.values().copied().collect();
+            prop_assert_eq!(frames.len(), flat.len(), "two pages share a frame");
+            Ok(())
+        },
+    );
 }

@@ -1,171 +1,232 @@
-//! Property-based tests (proptest) over the core data structures and
-//! whole-simulation invariants.
+//! Property-based tests over the core data structures and whole-simulation
+//! invariants, on the in-repo harness ([`pagecross::types::prop`]).
 
 use pagecross::mem::{Cache, CacheConfig, FillKind, Mshr, Tlb, TlbConfig, Translation};
 use pagecross::mem::{FrameAllocator, HugePagePolicy, PageWalker, PscConfig, Vmem};
 use pagecross::moka::buffers::{UpdateBuffer, UpdateEntry};
 use pagecross::moka::features::{FeatureContext, ProgramFeature};
+use pagecross::types::prop::{check, vec_of, Config};
+use pagecross::types::{prop_assert, prop_assert_eq};
 use pagecross::types::{LineAddr, PageSize, Rng64, SatCounter, VirtAddr};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A saturating counter never leaves its configured range under any
+/// operation sequence.
+#[test]
+fn sat_counter_stays_in_range() {
+    check(
+        &Config::cases(64),
+        |rng| (rng.range(2, 8) as u32, vec_of(rng, 0, 200, |r| r.range(0, 40) as i16 - 20)),
+        |(bits, ops)| {
+            let mut c = SatCounter::new(*bits);
+            for &op in ops {
+                c.add(op);
+                prop_assert!(c.get() >= c.min() && c.get() <= c.max());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// A saturating counter never leaves its configured range under any
-    /// operation sequence.
-    #[test]
-    fn sat_counter_stays_in_range(bits in 2u32..=8, ops in prop::collection::vec(-20i16..=20, 0..200)) {
-        let mut c = SatCounter::new(bits);
-        for op in ops {
-            c.add(op);
-            prop_assert!(c.get() >= c.min() && c.get() <= c.max());
-        }
-    }
+/// The RNG respects bounds for arbitrary seeds and bounds.
+#[test]
+fn rng_below_bound() {
+    check(
+        &Config::cases(64),
+        |rng| (rng.next_u64(), rng.range(1, 1_000_000)),
+        |&(seed, bound)| {
+            let mut r = Rng64::new(seed);
+            for _ in 0..50 {
+                prop_assert!(r.below(bound.max(1)) < bound.max(1));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The RNG respects bounds for arbitrary seeds and bounds.
-    #[test]
-    fn rng_below_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
-        let mut r = Rng64::new(seed);
-        for _ in 0..50 {
-            prop_assert!(r.below(bound) < bound);
-        }
-    }
-
-    /// Cache invariants under arbitrary access/fill interleavings:
-    /// occupancy bounded, probe-after-fill true, demand misses ≤ accesses.
-    #[test]
-    fn cache_invariants(ops in prop::collection::vec((0u64..256, 0u8..3), 1..400)) {
-        let mut c = Cache::new(
-            "prop",
-            CacheConfig { size_bytes: 4096, ways: 4, latency: 1, mshr_entries: 4 },
-        );
-        let capacity = (c.num_sets() as usize) * c.num_ways();
-        for (line, op) in ops {
-            let line = LineAddr(line);
-            match op {
-                0 => {
-                    c.demand_access(line, false);
+/// Cache invariants under arbitrary access/fill interleavings:
+/// occupancy bounded, probe-after-fill true, demand misses ≤ accesses.
+#[test]
+fn cache_invariants() {
+    check(
+        &Config::cases(64),
+        |rng| vec_of(rng, 1, 400, |r| (r.below(256), r.below(3) as u8)),
+        |ops| {
+            let mut c = Cache::new(
+                "prop",
+                CacheConfig { size_bytes: 4096, ways: 4, latency: 1, mshr_entries: 4 },
+            );
+            let capacity = (c.num_sets() as usize) * c.num_ways();
+            for &(line, op) in ops {
+                let line = LineAddr(line);
+                match op {
+                    0 => {
+                        c.demand_access(line, false);
+                    }
+                    1 => {
+                        c.fill(line, FillKind::Demand, false);
+                        prop_assert!(c.probe(line), "fill must make the line resident");
+                    }
+                    _ => {
+                        c.fill(line, FillKind::PrefetchPageCross, false);
+                        prop_assert!(c.probe(line));
+                    }
                 }
-                1 => {
-                    c.fill(line, FillKind::Demand, false);
-                    prop_assert!(c.probe(line), "fill must make the line resident");
-                }
-                _ => {
-                    c.fill(line, FillKind::PrefetchPageCross, false);
-                    prop_assert!(c.probe(line));
+                prop_assert!(c.occupancy() <= capacity);
+                prop_assert!(c.stats.demand_misses <= c.stats.demand_accesses);
+                prop_assert!(c.stats.pgc_useful <= c.stats.prefetch_useful);
+                prop_assert!(c.stats.pgc_fills <= c.stats.prefetch_fills);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// TLB: a fill is observable until evicted; occupancy bounded.
+#[test]
+fn tlb_invariants() {
+    check(
+        &Config::cases(64),
+        |rng| vec_of(rng, 1, 200, |r| r.below(512)),
+        |vpns| {
+            let mut t = Tlb::new("prop", TlbConfig { entries: 16, ways: 4, latency: 1 });
+            for &vpn in vpns {
+                t.fill(Translation { vpn, pfn: vpn + 7, size: PageSize::Base4K }, false);
+                let va = VirtAddr::new(vpn << 12);
+                prop_assert!(t.peek(va), "freshly filled translation must be visible");
+                prop_assert!(t.occupancy() <= 16);
+            }
+            prop_assert!(t.stats.misses <= t.stats.accesses);
+            Ok(())
+        },
+    );
+}
+
+/// MSHR: allocation never returns earlier than the requested completion;
+/// occupancy bounded by capacity.
+#[test]
+fn mshr_invariants() {
+    check(
+        &Config::cases(64),
+        |rng| vec_of(rng, 1, 100, |r| (r.below(64), r.below(1000))),
+        |reqs| {
+            let mut m = Mshr::new(8);
+            for &(line, now) in reqs {
+                let completes = now + 100;
+                let got = m.allocate(LineAddr(line), now, completes);
+                prop_assert!(got >= completes);
+                prop_assert!(m.occupancy(now) <= 8);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Update buffers never exceed capacity and inserted entries are
+/// retrievable until evicted.
+#[test]
+fn update_buffer_invariants() {
+    check(
+        &Config::cases(64),
+        |rng| vec_of(rng, 1, 100, |r| r.below(64)),
+        |lines| {
+            let mut b = UpdateBuffer::new(4);
+            for &line in lines {
+                b.insert(UpdateEntry { line, indices: vec![1], sf_mask: 0 });
+                prop_assert!(b.len() <= 4);
+                prop_assert!(b.peek(line).is_some(), "most recent insert is always present");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Every program feature hashes every context into table range, and is
+/// a pure function of the context.
+#[test]
+fn feature_hash_in_range() {
+    check(
+        &Config::cases(64),
+        |rng| {
+            (
+                rng.next_u64(),
+                rng.next_u64(),
+                (rng.range(0, 1023) as i64 - 512, rng.below(2) == 1),
+            )
+        },
+        |&(pc, va, (delta, fpa))| {
+            let ctx = FeatureContext {
+                pc,
+                va,
+                target_va: va.wrapping_add_signed(delta * 64),
+                delta,
+                first_page_access: fpa,
+                va_hist: [va, va ^ 1, va ^ 2],
+                pc_hist: [pc, pc ^ 1, pc ^ 2],
+                delta_hist: [delta, 1, -1],
+            };
+            for f in ProgramFeature::bouquet() {
+                let i = f.index(&ctx, 1024);
+                prop_assert!(i < 1024);
+                prop_assert_eq!(i, f.index(&ctx, 1024));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Page walks reference between 1 and 5 PTEs, the translation matches
+/// vmem, and PTE addresses live in the page-table region.
+#[test]
+fn walker_invariants() {
+    check(
+        &Config::cases(48),
+        |rng| vec_of(rng, 1, 60, |r| r.below(1u64 << 40)),
+        |vas| {
+            let mut fa = FrameAllocator::new(4u64 << 30, 11);
+            let mut w = PageWalker::new(
+                PscConfig { l5_entries: 1, l4_entries: 2, l3_entries: 8, l2_entries: 32 },
+                &mut fa,
+            );
+            let mut vm = Vmem::new(HugePagePolicy::None, 13);
+            let pt_region_base = (4u64 << 30) - (4u64 << 30) / 8;
+            for &raw in vas {
+                let va = VirtAddr::new(raw);
+                let plan = w.walk(va, &mut vm, &mut fa);
+                prop_assert!((1..=5).contains(&plan.refs.len()));
+                prop_assert_eq!(plan.translation, vm.translate(va, &mut fa));
+                for pte in &plan.refs {
+                    prop_assert!(pte.raw() >= pt_region_base, "PTE {pte:?} outside PT region");
                 }
             }
-            prop_assert!(c.occupancy() <= capacity);
-            prop_assert!(c.stats.demand_misses <= c.stats.demand_accesses);
-            prop_assert!(c.stats.pgc_useful <= c.stats.prefetch_useful);
-            prop_assert!(c.stats.pgc_fills <= c.stats.prefetch_fills);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// TLB: a fill is observable until evicted; occupancy bounded.
-    #[test]
-    fn tlb_invariants(vpns in prop::collection::vec(0u64..512, 1..200)) {
-        let mut t = Tlb::new("prop", TlbConfig { entries: 16, ways: 4, latency: 1 });
-        for vpn in vpns {
-            t.fill(Translation { vpn, pfn: vpn + 7, size: PageSize::Base4K }, false);
-            let va = VirtAddr::new(vpn << 12);
-            prop_assert!(t.peek(va), "freshly filled translation must be visible");
-            prop_assert!(t.occupancy() <= 16);
-        }
-        prop_assert!(t.stats.misses <= t.stats.accesses);
-    }
-
-    /// MSHR: allocation never returns earlier than the requested
-    /// completion; occupancy bounded by capacity.
-    #[test]
-    fn mshr_invariants(reqs in prop::collection::vec((0u64..64, 0u64..1000), 1..100)) {
-        let mut m = Mshr::new(8);
-        for (line, now) in reqs {
-            let completes = now + 100;
-            let got = m.allocate(LineAddr(line), now, completes);
-            prop_assert!(got >= completes);
-            prop_assert!(m.occupancy(now) <= 8);
-        }
-    }
-
-    /// Update buffers never exceed capacity and inserted entries are
-    /// retrievable until evicted.
-    #[test]
-    fn update_buffer_invariants(lines in prop::collection::vec(0u64..64, 1..100)) {
-        let mut b = UpdateBuffer::new(4);
-        for line in lines {
-            b.insert(UpdateEntry { line, indices: vec![1], sf_mask: 0 });
-            prop_assert!(b.len() <= 4);
-            prop_assert!(b.peek(line).is_some(), "most recent insert is always present");
-        }
-    }
-
-    /// Every program feature hashes every context into table range, and is
-    /// a pure function of the context.
-    #[test]
-    fn feature_hash_in_range(
-        pc in any::<u64>(),
-        va in any::<u64>(),
-        delta in -512i64..512,
-        fpa in any::<bool>(),
-    ) {
-        let ctx = FeatureContext {
-            pc,
-            va,
-            target_va: va.wrapping_add_signed(delta * 64),
-            delta,
-            first_page_access: fpa,
-            va_hist: [va, va ^ 1, va ^ 2],
-            pc_hist: [pc, pc ^ 1, pc ^ 2],
-            delta_hist: [delta, 1, -1],
-        };
-        for f in ProgramFeature::bouquet() {
-            let i = f.index(&ctx, 1024);
-            prop_assert!(i < 1024);
-            prop_assert_eq!(i, f.index(&ctx, 1024));
-        }
-    }
-
-    /// Page walks reference between 1 and 5 PTEs, the translation matches
-    /// vmem, and PTE addresses live in the page-table region.
-    #[test]
-    fn walker_invariants(vas in prop::collection::vec(0u64..(1u64 << 40), 1..60)) {
-        let mut fa = FrameAllocator::new(4u64 << 30, 11);
-        let mut w = PageWalker::new(
-            PscConfig { l5_entries: 1, l4_entries: 2, l3_entries: 8, l2_entries: 32 },
-            &mut fa,
-        );
-        let mut vm = Vmem::new(HugePagePolicy::None, 13);
-        let pt_region_base = (4u64 << 30) - (4u64 << 30) / 8;
-        for raw in vas {
-            let va = VirtAddr::new(raw);
-            let plan = w.walk(va, &mut vm, &mut fa);
-            prop_assert!((1..=5).contains(&plan.refs.len()));
-            prop_assert_eq!(plan.translation, vm.translate(va, &mut fa));
-            for pte in &plan.refs {
-                prop_assert!(pte.raw() >= pt_region_base, "PTE {pte:?} outside PT region");
+/// Same VA twice maps to the same frame; different pages to different
+/// frames (vmem is a function).
+#[test]
+fn vmem_is_functional() {
+    check(
+        &Config::cases(64),
+        |rng| vec_of(rng, 1, 100, |r| r.below(100_000)),
+        |pages| {
+            let mut fa = FrameAllocator::new(4u64 << 30, 17);
+            let mut vm = Vmem::new(HugePagePolicy::None, 19);
+            let mut seen = std::collections::HashMap::new();
+            for &p in pages {
+                let va = VirtAddr::new(p << 12);
+                let t = vm.translate(va, &mut fa);
+                let prev = seen.insert(p, t.pfn);
+                if let Some(prev_pfn) = prev {
+                    prop_assert_eq!(prev_pfn, t.pfn, "mapping must be stable");
+                }
             }
-        }
-    }
-
-    /// Same VA twice maps to the same frame; different pages to different
-    /// frames (vmem is a function).
-    #[test]
-    fn vmem_is_functional(pages in prop::collection::vec(0u64..100_000, 1..100)) {
-        let mut fa = FrameAllocator::new(4u64 << 30, 17);
-        let mut vm = Vmem::new(HugePagePolicy::None, 19);
-        let mut seen = std::collections::HashMap::new();
-        for p in pages {
-            let va = VirtAddr::new(p << 12);
-            let t = vm.translate(va, &mut fa);
-            let prev = seen.insert(p, t.pfn);
-            if let Some(prev_pfn) = prev {
-                prop_assert_eq!(prev_pfn, t.pfn, "mapping must be stable");
-            }
-        }
-        let frames: std::collections::HashSet<u64> = seen.values().copied().collect();
-        prop_assert_eq!(frames.len(), seen.len(), "frames are not shared across pages");
-    }
+            let frames: std::collections::HashSet<u64> = seen.values().copied().collect();
+            prop_assert_eq!(frames.len(), seen.len(), "frames are not shared across pages");
+            Ok(())
+        },
+    );
 }
 
 /// Whole-simulation property: for arbitrary small synthetic workloads, the
@@ -173,9 +234,9 @@ proptest! {
 /// bounded by the issue width, and accounting identities hold.
 #[test]
 fn simulation_invariants_over_random_params() {
+    use pagecross::cpu::trace::{TraceFactory, TraceSource};
     use pagecross::cpu::{PgcPolicyKind, SimulationBuilder};
     use pagecross::workloads::{Component, GenParams, Phase, SyntheticTrace};
-    use pagecross::cpu::trace::{TraceFactory, TraceSource};
 
     struct P(GenParams);
     impl TraceFactory for P {
