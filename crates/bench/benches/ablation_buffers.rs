@@ -42,7 +42,14 @@ fn geo_with(vub: usize, pubn: usize, workloads: &[&'static pagecross_workloads::
 fn main() {
     let workloads = representative_seen(1);
     print_header("ablation_buffers", &["vUB", "pUB", "geomean vs discard"]);
-    let sweep = [(1usize, 128usize), (4, 128), (16, 128), (4, 8), (4, 32), (4, 512)];
+    let sweep = [
+        (1usize, 128usize),
+        (4, 128),
+        (16, 128),
+        (4, 8),
+        (4, 32),
+        (4, 512),
+    ];
     let mut results = Vec::new();
     for (vub, pubn) in sweep {
         let g = geo_with(vub, pubn, &workloads);
@@ -52,9 +59,21 @@ fn main() {
         );
         results.push(((vub, pubn), g));
     }
-    let chosen = results.iter().find(|(k, _)| *k == (4, 128)).expect("chosen point ran").1;
-    let tiny_pub = results.iter().find(|(k, _)| *k == (4, 8)).expect("tiny pUB ran").1;
-    let big = results.iter().find(|(k, _)| *k == (4, 512)).expect("big pUB ran").1;
+    let chosen = results
+        .iter()
+        .find(|(k, _)| *k == (4, 128))
+        .expect("chosen point ran")
+        .1;
+    let tiny_pub = results
+        .iter()
+        .find(|(k, _)| *k == (4, 8))
+        .expect("tiny pUB ran")
+        .1;
+    let big = results
+        .iter()
+        .find(|(k, _)| *k == (4, 512))
+        .expect("big pUB ran")
+        .1;
 
     Summary {
         experiment: "ablation_buffers".into(),

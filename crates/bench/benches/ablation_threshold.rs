@@ -6,8 +6,8 @@
 //! static point and beats the worst by a clear margin.
 
 use pagecross_bench::{
-    env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, quick_seen_set,
-    run_all, Scheme, Summary,
+    env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, quick_seen_set, run_all,
+    Scheme, Summary,
 };
 use pagecross_cpu::{PgcPolicyKind, PrefetcherKind};
 
@@ -34,9 +34,14 @@ fn main() {
         geos.push((s.label.clone(), g));
     }
     let adaptive = geos.last().expect("adaptive last").1;
-    let best_static = geos[..geos.len() - 1].iter().map(|(_, g)| *g).fold(0.0, f64::max);
-    let worst_static =
-        geos[..geos.len() - 1].iter().map(|(_, g)| *g).fold(f64::INFINITY, f64::min);
+    let best_static = geos[..geos.len() - 1]
+        .iter()
+        .map(|(_, g)| *g)
+        .fold(0.0, f64::max);
+    let worst_static = geos[..geos.len() - 1]
+        .iter()
+        .map(|(_, g)| *g)
+        .fold(f64::INFINITY, f64::min);
 
     Summary {
         experiment: "ablation_threshold".into(),

@@ -15,7 +15,10 @@ use pagecross_workloads::representative_seen;
 fn main() {
     let cfg = env_scale();
     let workloads = representative_seen(1);
-    print_header("ablation_wt_size", &["entries", "storage KB", "geomean vs discard"]);
+    print_header(
+        "ablation_wt_size",
+        &["entries", "storage KB", "geomean vs discard"],
+    );
 
     let mut results = Vec::new();
     for entries in [64usize, 256, 1024, 4096] {
@@ -52,14 +55,26 @@ fn main() {
         );
     }
 
-    let at_1024 = results.iter().find(|(e, _, _)| *e == 1024).expect("1024 ran").2;
-    let at_4096 = results.iter().find(|(e, _, _)| *e == 4096).expect("4096 ran").2;
+    let at_1024 = results
+        .iter()
+        .find(|(e, _, _)| *e == 1024)
+        .expect("1024 ran")
+        .2;
+    let at_4096 = results
+        .iter()
+        .find(|(e, _, _)| *e == 4096)
+        .expect("4096 ran")
+        .2;
     Summary {
         experiment: "ablation_wt_size".into(),
         paper: "the ~1K-entry weight table is the knee; bigger budgets give small geomean \
                 gains (§III-E1)"
             .into(),
-        measured: format!("1024 entries {}, 4096 entries {}", fmt_pct(at_1024), fmt_pct(at_4096)),
+        measured: format!(
+            "1024 entries {}, 4096 entries {}",
+            fmt_pct(at_1024),
+            fmt_pct(at_4096)
+        ),
         shape_holds: (at_4096 - at_1024).abs() < 0.02,
     }
     .print();

@@ -19,7 +19,11 @@ fn main() {
     let mut any_neg = 0;
     for w in &workloads {
         let mut cells = vec![w.name().to_string()];
-        for pf in [PrefetcherKind::Berti, PrefetcherKind::Bop, PrefetcherKind::Ipcp] {
+        for pf in [
+            PrefetcherKind::Berti,
+            PrefetcherKind::Bop,
+            PrefetcherKind::Ipcp,
+        ] {
             let schemes = [
                 Scheme::new("discard", pf, PgcPolicyKind::DiscardPgc),
                 Scheme::new("permit", pf, PgcPolicyKind::PermitPgc),

@@ -5,7 +5,9 @@
 //! some ~100% useless) and on average roughly half the issued page-cross
 //! prefetches are useless — prefetchers are not accurate across pages.
 
-use pagecross_bench::{env_scale, motivation_set, print_header, print_row, run_all, Scheme, Summary};
+use pagecross_bench::{
+    env_scale, motivation_set, print_header, print_row, run_all, Scheme, Summary,
+};
 use pagecross_cpu::trace::TraceFactory;
 use pagecross_cpu::{PgcPolicyKind, PrefetcherKind};
 
@@ -15,7 +17,11 @@ fn main() {
     print_header("fig03", &["prefetcher", "workload", "useful%", "useless%"]);
 
     let mut summaries = Vec::new();
-    for pf in [PrefetcherKind::Berti, PrefetcherKind::Bop, PrefetcherKind::Ipcp] {
+    for pf in [
+        PrefetcherKind::Berti,
+        PrefetcherKind::Bop,
+        PrefetcherKind::Ipcp,
+    ] {
         let schemes = [Scheme::new("permit", pf, PgcPolicyKind::PermitPgc)];
         let mut ratios = Vec::new();
         for w in &workloads {
@@ -63,7 +69,12 @@ fn main() {
         measured: summaries
             .iter()
             .map(|(pf, avg, s)| {
-                format!("{pf:?}: avg {:.0}%, span {:.0}%..{:.0}%", avg * 100.0, s.start * 100.0, s.end * 100.0)
+                format!(
+                    "{pf:?}: avg {:.0}%, span {:.0}%..{:.0}%",
+                    avg * 100.0,
+                    s.start * 100.0,
+                    s.end * 100.0
+                )
             })
             .collect::<Vec<_>>()
             .join("; "),

@@ -5,7 +5,9 @@
 //! (mildly), L1D and LLC MPKIs; where Discard wins, Permit *increases*
 //! pressure across the same structures.
 
-use pagecross_bench::{env_scale, motivation_set, print_header, print_row, run_all, Scheme, Summary};
+use pagecross_bench::{
+    env_scale, motivation_set, print_header, print_row, run_all, Scheme, Summary,
+};
 use pagecross_cpu::trace::TraceFactory;
 use pagecross_cpu::{PgcPolicyKind, PrefetcherKind};
 
@@ -37,7 +39,12 @@ fn main() {
         print_row(
             "fig04",
             &[
-                if permit_better { "permit-wins" } else { "discard-wins" }.to_string(),
+                if permit_better {
+                    "permit-wins"
+                } else {
+                    "discard-wins"
+                }
+                .to_string(),
                 w.name().to_string(),
                 format!("{:+.2}", deltas[0]),
                 format!("{:+.2}", deltas[1]),
@@ -59,7 +66,10 @@ fn main() {
             v.iter().map(|d| d[i]).sum::<f64>() / v.len() as f64
         }
     };
-    for (label, group) in [("permit-wins", &permit_wins), ("discard-wins", &discard_wins)] {
+    for (label, group) in [
+        ("permit-wins", &permit_wins),
+        ("discard-wins", &discard_wins),
+    ] {
         print_row(
             "fig04",
             &[

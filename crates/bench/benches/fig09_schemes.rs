@@ -5,8 +5,8 @@
 //! ISO-Storage ≈ Permit; PPF/PPF+Dthr ≈ Discard (no gain); DRIPPER highest.
 
 use pagecross_bench::{
-    env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, quick_seen_set,
-    run_all, Scheme, Summary,
+    env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, quick_seen_set, run_all,
+    Scheme, Summary,
 };
 use pagecross_cpu::{PgcPolicyKind, PrefetcherKind};
 
@@ -18,7 +18,11 @@ fn main() {
     let mut dripper_beats_statics = true;
     let mut dripper_vs_ppf = Vec::new();
     let mut dripper_vs_permit = Vec::new();
-    for pf in [PrefetcherKind::Berti, PrefetcherKind::Bop, PrefetcherKind::Ipcp] {
+    for pf in [
+        PrefetcherKind::Berti,
+        PrefetcherKind::Bop,
+        PrefetcherKind::Ipcp,
+    ] {
         let schemes = vec![
             Scheme::new("discard-pgc", pf, PgcPolicyKind::DiscardPgc),
             Scheme::new("permit-pgc", pf, PgcPolicyKind::PermitPgc),
@@ -59,8 +63,14 @@ fn main() {
         measured: format!(
             "dripper beats permit/discard/ptw/iso for all prefetchers: {dripper_beats_statics}; \
              dripper-permit gaps: {:?}; dripper-ppf gaps: {:?}",
-            dripper_vs_permit.iter().map(|d| format!("{:+.3}", d)).collect::<Vec<_>>(),
-            dripper_vs_ppf.iter().map(|d| format!("{:+.3}", d)).collect::<Vec<_>>()
+            dripper_vs_permit
+                .iter()
+                .map(|d| format!("{:+.3}", d))
+                .collect::<Vec<_>>(),
+            dripper_vs_ppf
+                .iter()
+                .map(|d| format!("{:+.3}", d))
+                .collect::<Vec<_>>()
         ),
         shape_holds: dripper_beats_statics,
     }

@@ -33,7 +33,10 @@ fn main() {
     rows.sort_by(|a, b| a.3.total_cmp(&b.3));
     print_header("fig10", &["workload", "permit", "dripper"]);
     for (name, _, permit, dripper) in &rows {
-        print_row("fig10", &[name.clone(), fmt_pct(*permit), fmt_pct(*dripper)]);
+        print_row(
+            "fig10",
+            &[name.clone(), fmt_pct(*permit), fmt_pct(*dripper)],
+        );
     }
 
     // Bottom: per-suite geomeans.
@@ -62,8 +65,10 @@ fn main() {
     let gx = geomean_speedup(&all_x, &ones);
     print_row("fig10", &["OVERALL".into(), fmt_pct(gp), fmt_pct(gx)]);
 
-    let dripper_majority =
-        rows.iter().filter(|r| r.3 >= r.2 - 1e-9 && r.3 >= 1.0 - 1e-9).count();
+    let dripper_majority = rows
+        .iter()
+        .filter(|r| r.3 >= r.2 - 1e-9 && r.3 >= 1.0 - 1e-9)
+        .count();
     Summary {
         experiment: "fig10".into(),
         paper: "DRIPPER beats Permit (+2.5%) and Discard (+1.7%) in geomean; \

@@ -34,7 +34,15 @@ fn main() {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     print_header(
         "fig11",
-        &["suite", "cov disc", "cov permit", "cov dripper", "acc disc", "acc permit", "acc dripper"],
+        &[
+            "suite",
+            "cov disc",
+            "cov permit",
+            "cov dripper",
+            "acc disc",
+            "acc permit",
+            "acc dripper",
+        ],
     );
     let (mut cov_gap, mut acc_gain) = (Vec::new(), Vec::new());
     for (suite, a) in &by_suite {

@@ -25,7 +25,10 @@ fn main() {
     let mut dripper_worse_l1d = 0usize;
     for chunk in results.chunks(3) {
         let base = &chunk[0].report;
-        for (r, acc) in [(&chunk[1], &mut permit_deltas), (&chunk[2], &mut dripper_deltas)] {
+        for (r, acc) in [
+            (&chunk[1], &mut permit_deltas),
+            (&chunk[2], &mut dripper_deltas),
+        ] {
             let d = [
                 r.report.dtlb_mpki() - base.dtlb_mpki(),
                 r.report.stlb_mpki() - base.stlb_mpki(),

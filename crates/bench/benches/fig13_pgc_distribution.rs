@@ -18,7 +18,13 @@ fn main() {
 
     print_header(
         "fig13",
-        &["workload", "useful/KI permit", "useful/KI dripper", "useless/KI permit", "useless/KI dripper"],
+        &[
+            "workload",
+            "useful/KI permit",
+            "useful/KI dripper",
+            "useless/KI permit",
+            "useless/KI dripper",
+        ],
     );
     let (mut pu, mut du, mut pw, mut dw) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for chunk in results.chunks(3) {
@@ -53,8 +59,16 @@ fn main() {
 
     // Shape: DRIPPER keeps a meaningful share of the useful prefetches but
     // cuts the useless ones by far more.
-    let useful_kept = if mean(&pu) > 0.0 { mean(&du) / mean(&pu) } else { 1.0 };
-    let useless_kept = if mean(&pw) > 0.0 { mean(&dw) / mean(&pw) } else { 0.0 };
+    let useful_kept = if mean(&pu) > 0.0 {
+        mean(&du) / mean(&pu)
+    } else {
+        1.0
+    };
+    let useless_kept = if mean(&pw) > 0.0 {
+        mean(&dw) / mean(&pw)
+    } else {
+        0.0
+    };
     Summary {
         experiment: "fig13".into(),
         paper: "DRIPPER has almost the same useful-PGC volume as Permit and far fewer \

@@ -4,12 +4,12 @@
 //! Paper's shape: DRIPPER ≥ each constituent alone for the vast majority
 //! of workloads — the combination is what wins.
 
+use moka_pgc::{ProgramFeature, SystemFeature};
 use pagecross_bench::{
-    env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, quick_seen_set,
-    run_all, Scheme, Summary,
+    env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, quick_seen_set, run_all,
+    Scheme, Summary,
 };
 use pagecross_cpu::{PgcPolicyKind, PrefetcherKind};
-use moka_pgc::{ProgramFeature, SystemFeature};
 
 fn main() {
     let cfg = env_scale();
@@ -17,7 +17,11 @@ fn main() {
     let pf = PrefetcherKind::Berti;
     let schemes = vec![
         Scheme::new("discard-pgc", pf, PgcPolicyKind::DiscardPgc),
-        Scheme::new("delta-only", pf, PgcPolicyKind::SingleFeature(ProgramFeature::Delta)),
+        Scheme::new(
+            "delta-only",
+            pf,
+            PgcPolicyKind::SingleFeature(ProgramFeature::Delta),
+        ),
         Scheme::new(
             "stlb-mpki-only",
             pf,
@@ -41,8 +45,10 @@ fn main() {
         geos.push((s.label.clone(), g));
     }
     let dripper = geos.last().expect("dripper last").1;
-    let best_single =
-        geos[..geos.len() - 1].iter().map(|(_, g)| *g).fold(0.0f64, f64::max);
+    let best_single = geos[..geos.len() - 1]
+        .iter()
+        .map(|(_, g)| *g)
+        .fold(0.0f64, f64::max);
     Summary {
         experiment: "fig14".into(),
         paper: "DRIPPER outperforms each of its constituent single-feature filters".into(),

@@ -6,8 +6,8 @@
 //! candidates in ways phase-level system features cannot.
 
 use pagecross_bench::{
-    env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, quick_seen_set,
-    run_all, Scheme, Summary,
+    env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, quick_seen_set, run_all,
+    Scheme, Summary,
 };
 use pagecross_cpu::{PgcPolicyKind, PrefetcherKind};
 

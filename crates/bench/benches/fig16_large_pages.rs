@@ -7,8 +7,8 @@
 //! over Discard; @4KB beats @2MB by 0.5%).
 
 use pagecross_bench::{
-    env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, quick_seen_set,
-    run_all, Scheme, Summary,
+    env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, quick_seen_set, run_all,
+    Scheme, Summary,
 };
 use pagecross_cpu::{BoundaryMode, PgcPolicyKind, PrefetcherKind};
 use pagecross_mem::HugePagePolicy;
@@ -25,9 +25,21 @@ fn main() {
         s
     };
     let schemes = vec![
-        with("discard-pgc", PgcPolicyKind::DiscardPgc, BoundaryMode::Fixed4K),
-        with("permit-pgc", PgcPolicyKind::PermitPgc, BoundaryMode::PageSizeAware),
-        with("dripper@2mb", PgcPolicyKind::Dripper, BoundaryMode::PageSizeAware),
+        with(
+            "discard-pgc",
+            PgcPolicyKind::DiscardPgc,
+            BoundaryMode::Fixed4K,
+        ),
+        with(
+            "permit-pgc",
+            PgcPolicyKind::PermitPgc,
+            BoundaryMode::PageSizeAware,
+        ),
+        with(
+            "dripper@2mb",
+            PgcPolicyKind::Dripper,
+            BoundaryMode::PageSizeAware,
+        ),
         with("dripper@4kb", PgcPolicyKind::Dripper, BoundaryMode::Fixed4K),
     ];
     let results = run_all(&workloads, &schemes, &cfg);

@@ -6,8 +6,8 @@
 //! DRIPPER's margin is slightly larger without an L2C prefetcher.
 
 use pagecross_bench::{
-    env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, quick_seen_set,
-    run_all, Scheme, Summary,
+    env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, quick_seen_set, run_all,
+    Scheme, Summary,
 };
 use pagecross_cpu::{L2PrefetcherKind, PgcPolicyKind, PrefetcherKind};
 
@@ -39,7 +39,10 @@ fn main() {
         let base = ipcs_of(&results, "discard-pgc");
         let permit = geomean_speedup(&ipcs_of(&results, "permit-pgc"), &base);
         let dripper = geomean_speedup(&ipcs_of(&results, "dripper"), &base);
-        print_row("fig17", &[format!("{l2:?}"), fmt_pct(permit), fmt_pct(dripper)]);
+        print_row(
+            "fig17",
+            &[format!("{l2:?}"), fmt_pct(permit), fmt_pct(dripper)],
+        );
         dripper_gains.push(dripper);
         shape &= dripper > permit;
     }
@@ -51,7 +54,10 @@ fn main() {
             .into(),
         measured: format!(
             "dripper geomeans per L2 config: {:?}",
-            dripper_gains.iter().map(|g| fmt_pct(*g)).collect::<Vec<_>>()
+            dripper_gains
+                .iter()
+                .map(|g| fmt_pct(*g))
+                .collect::<Vec<_>>()
         ),
         shape_holds: shape,
     }

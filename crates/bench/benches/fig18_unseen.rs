@@ -5,8 +5,8 @@
 //! and Discard (+1.2%) in geomean over 178 unseen workloads.
 
 use pagecross_bench::{
-    core_schemes, env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row,
-    run_all, Summary,
+    core_schemes, env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, run_all,
+    Summary,
 };
 use pagecross_cpu::PrefetcherKind;
 use pagecross_workloads::representative_unseen;
@@ -43,7 +43,11 @@ fn main() {
     Summary {
         experiment: "fig18".into(),
         paper: "on unseen workloads DRIPPER beats Permit (+2.1%) and Discard (+1.2%)".into(),
-        measured: format!("dripper {} vs permit {} over discard", fmt_pct(gd), fmt_pct(gp)),
+        measured: format!(
+            "dripper {} vs permit {} over discard",
+            fmt_pct(gd),
+            fmt_pct(gp)
+        ),
         shape_holds: gd > gp && gd >= 0.999,
     }
     .print();

@@ -11,10 +11,7 @@ use pagecross_cpu::{PgcPolicyKind, PrefetcherKind, SimulationBuilder, TraceFacto
 use pagecross_types::geomean;
 use pagecross_workloads::random_mixes;
 
-fn run_mix(
-    policy: PgcPolicyKind,
-    mix: &[&'static pagecross_workloads::Workload],
-) -> Vec<f64> {
+fn run_mix(policy: PgcPolicyKind, mix: &[&'static pagecross_workloads::Workload]) -> Vec<f64> {
     let ws: Vec<&dyn TraceFactory> = mix.iter().map(|w| *w as &dyn TraceFactory).collect();
     SimulationBuilder::new()
         .prefetcher(PrefetcherKind::Berti)
@@ -33,7 +30,10 @@ fn main() {
         .clamp(1, 300);
     let mixes = random_mixes(n_mixes, 8, 0xFEED);
 
-    print_header("fig19", &["mix", "permit weighted speedup", "dripper weighted speedup"]);
+    print_header(
+        "fig19",
+        &["mix", "permit weighted speedup", "dripper weighted speedup"],
+    );
     let mut permit_ws = Vec::new();
     let mut dripper_ws = Vec::new();
     for (i, mix) in mixes.iter().enumerate() {
@@ -42,9 +42,8 @@ fn main() {
         let dripper = run_mix(PgcPolicyKind::Dripper, mix);
         // Weighted speedup over the Discard baseline: per-core relative IPC
         // summed, normalised by core count.
-        let wsp = |v: &[f64]| {
-            v.iter().zip(&base).map(|(a, b)| a / b).sum::<f64>() / base.len() as f64
-        };
+        let wsp =
+            |v: &[f64]| v.iter().zip(&base).map(|(a, b)| a / b).sum::<f64>() / base.len() as f64;
         let (p, d) = (wsp(&permit), wsp(&dripper));
         permit_ws.push(p);
         dripper_ws.push(d);
@@ -54,7 +53,11 @@ fn main() {
     let gd = geomean(&dripper_ws).unwrap_or(1.0);
     print_row("fig19", &["GEOMEAN".into(), fmt_pct(gp), fmt_pct(gd)]);
 
-    let wins = dripper_ws.iter().zip(&permit_ws).filter(|(d, p)| d >= p).count();
+    let wins = dripper_ws
+        .iter()
+        .zip(&permit_ws)
+        .filter(|(d, p)| d >= p)
+        .count();
     Summary {
         experiment: "fig19".into(),
         paper: "8-core mixes: DRIPPER beats Permit (+3.3%) and Discard (+2.0%) in geomean; \

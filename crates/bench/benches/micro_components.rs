@@ -19,7 +19,12 @@ fn bench_cache(c: &mut Micro) {
     g.bench_function("access_fill_mix", |b| {
         let mut cache = Cache::new(
             "bench",
-            CacheConfig { size_bytes: 48 << 10, ways: 12, latency: 5, mshr_entries: 16 },
+            CacheConfig {
+                size_bytes: 48 << 10,
+                ways: 12,
+                latency: 5,
+                mshr_entries: 16,
+            },
         );
         let mut rng = Rng64::new(1);
         b.iter(|| {
@@ -59,7 +64,12 @@ fn bench_perceptron(c: &mut Micro) {
     g.throughput(1024);
     g.bench_function("predict_55_features", |b| {
         let bank = PerceptronBank::new(&ProgramFeature::bouquet(), 1024, 5);
-        let ctx = FeatureContext { pc: 0x401000, va: 0x7000_1234, delta: 5, ..Default::default() };
+        let ctx = FeatureContext {
+            pc: 0x401000,
+            va: 0x7000_1234,
+            delta: 5,
+            ..Default::default()
+        };
         b.iter(|| {
             for i in 0..1024u64 {
                 let mut c = ctx;

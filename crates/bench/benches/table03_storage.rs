@@ -55,12 +55,19 @@ fn main() {
         ],
     );
     let total = cfg.storage_kb();
-    print_row("table03", &["TOTAL".into(), "".into(), format!("{total:.3}")]);
+    print_row(
+        "table03",
+        &["TOTAL".into(), "".into(), format!("{total:.3}")],
+    );
 
     // Same budget for every prefetcher's DRIPPER.
-    let same = [TargetPrefetcher::Berti, TargetPrefetcher::Ipcp, TargetPrefetcher::Bop]
-        .iter()
-        .all(|&t| (dripper_config(t).storage_kb() - total).abs() < 1e-9);
+    let same = [
+        TargetPrefetcher::Berti,
+        TargetPrefetcher::Ipcp,
+        TargetPrefetcher::Bop,
+    ]
+    .iter()
+    .all(|&t| (dripper_config(t).storage_kb() - total).abs() < 1e-9);
 
     Summary {
         experiment: "table03".into(),

@@ -8,8 +8,8 @@
 //! never harms the non-intensive workloads.
 
 use pagecross_bench::{
-    core_schemes, env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row,
-    run_all, Summary,
+    core_schemes, env_scale, fmt_pct, geomean_speedup, ipcs_of, print_header, print_row, run_all,
+    Summary,
 };
 use pagecross_cpu::PrefetcherKind;
 use pagecross_workloads::{non_intensive_workloads, representative_seen, representative_unseen};
@@ -35,13 +35,25 @@ fn main() {
 
     print_header("table05", &["set", "permit", "dripper"]);
     let (p_seen, d_seen) = geo_pair(&seen);
-    print_row("table05", &["seen".into(), fmt_pct(p_seen), fmt_pct(d_seen)]);
+    print_row(
+        "table05",
+        &["seen".into(), fmt_pct(p_seen), fmt_pct(d_seen)],
+    );
     let (p_unseen, d_unseen) = geo_pair(&unseen);
-    print_row("table05", &["unseen".into(), fmt_pct(p_unseen), fmt_pct(d_unseen)]);
+    print_row(
+        "table05",
+        &["unseen".into(), fmt_pct(p_unseen), fmt_pct(d_unseen)],
+    );
     let (p_all, d_all) = geo_pair(&all);
-    print_row("table05", &["all+non-intensive".into(), fmt_pct(p_all), fmt_pct(d_all)]);
+    print_row(
+        "table05",
+        &["all+non-intensive".into(), fmt_pct(p_all), fmt_pct(d_all)],
+    );
     let (p_ni, d_ni) = geo_pair(&non_intensive);
-    print_row("table05", &["non-intensive only".into(), fmt_pct(p_ni), fmt_pct(d_ni)]);
+    print_row(
+        "table05",
+        &["non-intensive only".into(), fmt_pct(p_ni), fmt_pct(d_ni)],
+    );
 
     let shape = d_seen > p_seen
         && d_unseen > p_unseen

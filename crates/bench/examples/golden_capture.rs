@@ -12,14 +12,42 @@ use pagecross_workloads::{suite, SuiteId};
 
 fn main() {
     let cases = [
-        ("gap.s00", SuiteId::Gap, 0, PrefetcherKind::Berti, PgcPolicyKind::Dripper),
-        ("spec06.s00", SuiteId::Spec06, 0, PrefetcherKind::Berti, PgcPolicyKind::PermitPgc),
-        ("ligra.s01", SuiteId::Ligra, 1, PrefetcherKind::Bop, PgcPolicyKind::Dripper),
-        ("qmm_int.s00", SuiteId::QmmInt, 0, PrefetcherKind::Ipcp, PgcPolicyKind::DiscardPgc),
+        (
+            "gap.s00",
+            SuiteId::Gap,
+            0,
+            PrefetcherKind::Berti,
+            PgcPolicyKind::Dripper,
+        ),
+        (
+            "spec06.s00",
+            SuiteId::Spec06,
+            0,
+            PrefetcherKind::Berti,
+            PgcPolicyKind::PermitPgc,
+        ),
+        (
+            "ligra.s01",
+            SuiteId::Ligra,
+            1,
+            PrefetcherKind::Bop,
+            PgcPolicyKind::Dripper,
+        ),
+        (
+            "qmm_int.s00",
+            SuiteId::QmmInt,
+            0,
+            PrefetcherKind::Ipcp,
+            PgcPolicyKind::DiscardPgc,
+        ),
     ];
     for (name, sid, idx, pf, pol) in cases {
         let w = &suite(sid).workloads()[idx];
-        assert_eq!(w.name(), name, "registry order changed; update the case list");
+        assert_eq!(
+            w.name(),
+            name,
+            "registry order changed; update the case list"
+        );
         let r = SimulationBuilder::new()
             .prefetcher(pf)
             .pgc_policy(pol)

@@ -53,5 +53,8 @@ fn main() {
         );
     }
     let dt = t0.elapsed().as_secs_f64();
-    println!("simulated {total_instr} instrs in {dt:.2}s = {:.1}M instr/s", total_instr as f64 / dt / 1e6);
+    println!(
+        "simulated {total_instr} instrs in {dt:.2}s = {:.1}M instr/s",
+        total_instr as f64 / dt / 1e6
+    );
 }

@@ -1,11 +1,18 @@
 //! Per-workload diagnostic over the quick seen set: dripper vs ppf.
 use pagecross_bench::{env_scale, quick_seen_set, run_one, Scheme};
-use pagecross_cpu::{PgcPolicyKind, PrefetcherKind};
 use pagecross_cpu::trace::TraceFactory;
+use pagecross_cpu::{PgcPolicyKind, PrefetcherKind};
 
 fn main() {
     let cfg = env_scale();
-    let pf = std::env::var("DIAG_PF").ok().map(|v| match v.as_str() { "bop" => PrefetcherKind::Bop, "ipcp" => PrefetcherKind::Ipcp, _ => PrefetcherKind::Berti }).unwrap_or(PrefetcherKind::Berti);
+    let pf = std::env::var("DIAG_PF")
+        .ok()
+        .map(|v| match v.as_str() {
+            "bop" => PrefetcherKind::Bop,
+            "ipcp" => PrefetcherKind::Ipcp,
+            _ => PrefetcherKind::Berti,
+        })
+        .unwrap_or(PrefetcherKind::Berti);
     for w in quick_seen_set() {
         let d = run_one(w, &Scheme::new("d", pf, PgcPolicyKind::DiscardPgc), &cfg).report;
         let p = run_one(w, &Scheme::new("p", pf, PgcPolicyKind::PermitPgc), &cfg).report;

@@ -18,12 +18,77 @@
 
 use std::time::{Duration, Instant};
 
+use pagecross_cpu::trace::TraceFactory;
 use pagecross_cpu::{
     BoundaryMode, L2PrefetcherKind, PgcPolicyKind, PrefetcherKind, Report, SimulationBuilder,
 };
 use pagecross_mem::HugePagePolicy;
+use pagecross_trace::TraceReplay;
 use pagecross_types::Rng64;
 use pagecross_workloads::Workload;
+
+/// Anything a campaign can simulate: a synthetic [`Workload`] from the
+/// registry, or a recorded [`TraceReplay`]. The runner only needs a
+/// factory to build streams from, a suite label for reporting, and the
+/// default warm-up/measured lengths.
+pub trait Subject: Sync {
+    /// The trace factory the engine consumes.
+    fn factory(&self) -> &dyn TraceFactory;
+    /// Suite label for grouping in reports.
+    fn suite_label(&self) -> &'static str;
+    /// Default (warm-up, measured) instruction counts.
+    fn lengths(&self) -> (u64, u64);
+}
+
+// References delegate so call sites holding `&&Workload` (iterating a
+// `Vec<&Workload>`) still satisfy the generic bound without deref noise.
+impl<S: Subject + ?Sized> Subject for &S {
+    fn factory(&self) -> &dyn TraceFactory {
+        (**self).factory()
+    }
+
+    fn suite_label(&self) -> &'static str {
+        (**self).suite_label()
+    }
+
+    fn lengths(&self) -> (u64, u64) {
+        (**self).lengths()
+    }
+}
+
+impl Subject for Workload {
+    fn factory(&self) -> &dyn TraceFactory {
+        self
+    }
+
+    fn suite_label(&self) -> &'static str {
+        self.suite().label()
+    }
+
+    fn lengths(&self) -> (u64, u64) {
+        self.default_lengths()
+    }
+}
+
+impl Subject for TraceReplay {
+    fn factory(&self) -> &dyn TraceFactory {
+        self
+    }
+
+    fn suite_label(&self) -> &'static str {
+        "trace"
+    }
+
+    /// Every registry workload warms up over the first third of its run
+    /// (25k/50k and 50k/100k default lengths); a recording of a full run
+    /// splits the same way, so replay defaults line up with the direct
+    /// run's defaults.
+    fn lengths(&self) -> (u64, u64) {
+        let n = self.meta().instr_count;
+        let warm = n / 3;
+        (warm, n - warm)
+    }
+}
 
 /// One scheme under comparison: prefetcher + policy (+ variants).
 #[derive(Clone, Debug)]
@@ -77,7 +142,11 @@ impl CampaignConfig {
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        Self { warmup_scale: 1.0, measure_scale: 1.0, seed: Self::DEFAULT_SEED }
+        Self {
+            warmup_scale: 1.0,
+            measure_scale: 1.0,
+            seed: Self::DEFAULT_SEED,
+        }
     }
 }
 
@@ -94,9 +163,14 @@ pub struct WorkloadResult {
     pub report: Report,
 }
 
-/// Runs one (workload, scheme) cell.
-pub fn run_one(w: &Workload, scheme: &Scheme, cfg: &CampaignConfig) -> WorkloadResult {
-    let (warm, measure) = w.default_lengths();
+/// Runs one (subject, scheme) cell.
+pub fn run_one<S: Subject + ?Sized>(
+    w: &S,
+    scheme: &Scheme,
+    cfg: &CampaignConfig,
+) -> WorkloadResult {
+    let (warm, measure) = w.lengths();
+    let factory = w.factory();
     let report = SimulationBuilder::new()
         .prefetcher(scheme.prefetcher)
         .pgc_policy(scheme.policy)
@@ -106,10 +180,10 @@ pub fn run_one(w: &Workload, scheme: &Scheme, cfg: &CampaignConfig) -> WorkloadR
         .seed(cfg.seed)
         .warmup((warm as f64 * cfg.warmup_scale) as u64)
         .instructions((measure as f64 * cfg.measure_scale) as u64)
-        .run_workload(w);
+        .run_workload(factory);
     WorkloadResult {
-        workload: w.name().to_string(),
-        suite: w.suite().label(),
+        workload: factory.name().to_string(),
+        suite: w.suite_label(),
         scheme: scheme.label.clone(),
         report,
     }
@@ -227,13 +301,13 @@ pub fn env_jobs() -> usize {
 /// Each shard owns the cells with `index % jobs == shard` and visits them
 /// in an order drawn from a shard-seeded [`Rng64`]; the merge sorts by cell
 /// index, so the output never depends on thread scheduling or `jobs`.
-pub fn run_grid(
-    workloads: &[&Workload],
+pub fn run_grid<S: Subject + ?Sized>(
+    workloads: &[&S],
     schemes: &[Scheme],
     cfg: &CampaignConfig,
     jobs: usize,
 ) -> CampaignRun {
-    let cells: Vec<(usize, &Workload, &Scheme)> = workloads
+    let cells: Vec<(usize, &S, &Scheme)> = workloads
         .iter()
         .flat_map(|&w| schemes.iter().map(move |s| (w, s)))
         .enumerate()
@@ -251,7 +325,7 @@ pub fn run_grid(
                     scope.spawn(move || {
                         // Stripe, then shuffle the visit order with the
                         // shard's own generator (Fisher–Yates).
-                        let mut mine: Vec<&(usize, &Workload, &Scheme)> =
+                        let mut mine: Vec<&(usize, &S, &Scheme)> =
                             cells.iter().skip(shard).step_by(jobs).collect();
                         let mut rng = Rng64::new(
                             cfg.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -268,11 +342,21 @@ pub fn run_grid(
                             busy += dt;
                             out.push((idx, r, dt));
                         }
-                        (ShardStats { shard, cells: out.len(), busy }, out)
+                        (
+                            ShardStats {
+                                shard,
+                                cells: out.len(),
+                                busy,
+                            },
+                            out,
+                        )
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("campaign worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
         });
     let wall = start.elapsed();
     let cpu = match (cpu_before, process_cpu_time()) {
@@ -296,21 +380,26 @@ pub fn run_grid(
         })
         .collect();
     let results = merged.into_iter().map(|(_, r, _)| r).collect();
-    CampaignRun { results, timings, shards, jobs, wall, cpu }
+    CampaignRun {
+        results,
+        timings,
+        shards,
+        jobs,
+        wall,
+        cpu,
+    }
 }
 
 /// Runs the full cross product on the [`env_jobs`] worker pool; results are
 /// grouped by workload then scheme (scheme order preserved within each
 /// workload), exactly as the serial runner produced them.
-pub fn run_all(
-    workloads: &[&Workload],
+pub fn run_all<S: Subject + ?Sized>(
+    workloads: &[&S],
     schemes: &[Scheme],
     cfg: &CampaignConfig,
 ) -> Vec<WorkloadResult> {
     run_grid(workloads, schemes, cfg, env_jobs()).results
 }
-
-use pagecross_cpu::trace::TraceFactory;
 
 /// Campaign scale from the environment: `PAGECROSS_SCALE` multiplies the
 /// measured instruction counts (default 1.0). Use e.g. `PAGECROSS_SCALE=4`
@@ -321,7 +410,11 @@ pub fn env_scale() -> CampaignConfig {
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(1.0)
         .clamp(0.05, 100.0);
-    CampaignConfig { warmup_scale: scale, measure_scale: scale, ..Default::default() }
+    CampaignConfig {
+        warmup_scale: scale,
+        measure_scale: scale,
+        ..Default::default()
+    }
 }
 
 /// The default experiment workload set: a template-stratified slice of the
@@ -341,7 +434,9 @@ pub fn quick_seen_set() -> Vec<&'static Workload> {
 pub fn motivation_set() -> Vec<&'static Workload> {
     use pagecross_workloads::{suite, SuiteId};
     let pick = |s: SuiteId, idx: &[usize]| {
-        idx.iter().map(move |&i| &suite(s).workloads()[i]).collect::<Vec<_>>()
+        idx.iter()
+            .map(move |&i| &suite(s).workloads()[i])
+            .collect::<Vec<_>>()
     };
     let mut v = Vec::new();
     v.extend(pick(SuiteId::Spec06, &[0, 1, 2, 3, 4]));
@@ -363,7 +458,11 @@ pub fn core_schemes(pf: PrefetcherKind) -> Vec<Scheme> {
 
 /// Extracts the per-workload IPC vector of one scheme, in workload order.
 pub fn ipcs_of(results: &[WorkloadResult], scheme: &str) -> Vec<f64> {
-    results.iter().filter(|r| r.scheme == scheme).map(|r| r.report.ipc()).collect()
+    results
+        .iter()
+        .filter(|r| r.scheme == scheme)
+        .map(|r| r.report.ipc())
+        .collect()
 }
 
 #[cfg(test)]
@@ -373,7 +472,11 @@ mod tests {
 
     fn tiny_cfg() -> CampaignConfig {
         // Very short runs: these tests exercise orchestration, not fidelity.
-        CampaignConfig { warmup_scale: 0.02, measure_scale: 0.02, ..Default::default() }
+        CampaignConfig {
+            warmup_scale: 0.02,
+            measure_scale: 0.02,
+            ..Default::default()
+        }
     }
 
     fn small_grid() -> (Vec<&'static Workload>, Vec<Scheme>) {
@@ -391,7 +494,11 @@ mod tests {
         for (a, b) in serial.results.iter().zip(&par.results) {
             assert_eq!(a.workload, b.workload);
             assert_eq!(a.scheme, b.scheme);
-            assert_eq!(a.report, b.report, "{}:{} diverged across worker counts", a.workload, a.scheme);
+            assert_eq!(
+                a.report, b.report,
+                "{}:{} diverged across worker counts",
+                a.workload, a.scheme
+            );
         }
     }
 
@@ -422,7 +529,10 @@ mod tests {
         // Striping balances within ±1.
         let min = run.shards.iter().map(|s| s.cells).min().unwrap();
         let max = run.shards.iter().map(|s| s.cells).max().unwrap();
-        assert!(max - min <= 1, "striped shards must be balanced: {min}..{max}");
+        assert!(
+            max - min <= 1,
+            "striped shards must be balanced: {min}..{max}"
+        );
     }
 
     #[test]
@@ -431,11 +541,17 @@ mod tests {
         // Full-length runs: at micro scale the frame-allocation scramble
         // may not surface in any counter.
         let base = CampaignConfig::default();
-        let other = CampaignConfig { seed: 0xDEAD_BEEF, ..base };
+        let other = CampaignConfig {
+            seed: 0xDEAD_BEEF,
+            ..base
+        };
         let a = run_grid(&ws[..1], &schemes[..1], &base, 2);
         let b = run_grid(&ws[..1], &schemes[..1], &base, 2);
         let c = run_grid(&ws[..1], &schemes[..1], &other, 2);
-        assert_eq!(a.results[0].report, b.results[0].report, "same seed, same report");
+        assert_eq!(
+            a.results[0].report, b.results[0].report,
+            "same seed, same report"
+        );
         assert_ne!(
             a.results[0].report, c.results[0].report,
             "a different campaign seed must change frame allocation"
@@ -473,6 +589,50 @@ mod tests {
             par.wall,
             par.timing_line()
         );
+    }
+
+    #[test]
+    fn replayed_traces_run_through_the_grid_like_workloads() {
+        let w: &Workload = &suite(SuiteId::Gap).workloads()[0];
+        let cfg = tiny_cfg();
+        let (warm, measure) = w.default_lengths();
+        let total = ((warm as f64 * cfg.warmup_scale) as u64)
+            + ((measure as f64 * cfg.measure_scale) as u64);
+        let path = std::env::temp_dir().join(format!(
+            "pct-campaign-{}-{}.pct",
+            std::process::id(),
+            w.name()
+        ));
+        pagecross_trace::record(w, total, w.params().seed, &path).unwrap();
+        let replay = TraceReplay::open(&path).unwrap();
+        let schemes = core_schemes(PrefetcherKind::Berti);
+        // The replay's default lengths split n at 1/3, matching the
+        // workload's own warmup:measure ratio, so the same scaled cell runs.
+        let direct = run_grid(&[w], &schemes, &cfg, 2);
+        let replayed = run_grid::<TraceReplay>(
+            &[&replay],
+            &schemes,
+            &CampaignConfig {
+                warmup_scale: 1.0,
+                measure_scale: 1.0,
+                ..cfg
+            },
+            2,
+        );
+        for (a, b) in direct.results.iter().zip(&replayed.results) {
+            assert_eq!(
+                a.workload, b.workload,
+                "replay reports carry the recorded name"
+            );
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(
+                a.report, b.report,
+                "{}:{} diverged under replay",
+                a.workload, a.scheme
+            );
+        }
+        assert_eq!(replayed.results[0].suite, "trace");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

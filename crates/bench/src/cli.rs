@@ -10,18 +10,28 @@
 //! * `sweep --suite <id> [--prefetcher p] [--jobs n]` — the compare row for
 //!   every seen workload of a suite, computed on the parallel campaign
 //!   runner;
-//! * `campaign [--suite <id>] [--prefetcher p] [--jobs n] [--per-suite k]`
-//!   — a figure-style (workload × scheme) grid on the worker pool, with
-//!   per-experiment timing and the wall-clock/speedup summary.
+//! * `campaign [--suite <id>] [--prefetcher p] [--jobs n] [--per-suite k]
+//!   [--trace-dir <dir>]` — a figure-style (workload × scheme) grid on the
+//!   worker pool, with per-experiment timing and the wall-clock/speedup
+//!   summary; with `--trace-dir`, the grid runs over every `.pct` trace in
+//!   a directory instead of the registry;
+//! * `record --workload <name> [--out <path>]` — serialize a workload's
+//!   instruction stream to a `.pct` trace file;
+//! * `replay --trace <path> [...]` — simulate a recorded trace (counters
+//!   are bit-identical to the direct run it was recorded from).
 //!
 //! Argument parsing is hand-rolled (the workspace is dependency-minimal);
 //! the parsed command is a plain enum so it is unit-testable.
 
-use crate::campaign::{core_schemes, env_jobs, run_grid, CampaignConfig, CampaignRun, WorkloadResult};
-use pagecross_cpu::{L2PrefetcherKind, PgcPolicyKind, PrefetcherKind, SimulationBuilder};
+use crate::campaign::{
+    core_schemes, env_jobs, run_grid, CampaignConfig, CampaignRun, Subject, WorkloadResult,
+};
 use pagecross_cpu::trace::TraceFactory;
+use pagecross_cpu::{L2PrefetcherKind, PgcPolicyKind, PrefetcherKind, Report, SimulationBuilder};
 use pagecross_mem::HugePagePolicy;
+use pagecross_trace::TraceReplay;
 use pagecross_workloads::{seen_workloads, suite, SuiteId, Workload};
+use std::path::{Path, PathBuf};
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -61,9 +71,58 @@ pub enum Command {
         /// Cap on workloads taken per suite (`None` = all of a filtered
         /// suite, or 4 per suite for the cross-suite set).
         per_suite: Option<usize>,
+        /// Run the grid over every `.pct` trace in this directory instead
+        /// of registry workloads.
+        trace_dir: Option<String>,
     },
+    /// Record a workload's instruction stream to a `.pct` trace file.
+    Record {
+        /// Workload name (registry lookup).
+        workload: String,
+        /// Output path (default: `<workload>.pct`).
+        out: Option<String>,
+        /// Warm-up instructions to record (0 = workload default).
+        warmup: u64,
+        /// Measured instructions to record (0 = workload default).
+        instructions: u64,
+    },
+    /// Simulate a recorded `.pct` trace.
+    Replay(ReplayArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of the `replay` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayArgs {
+    /// Path of the `.pct` trace.
+    pub trace: String,
+    /// L1D prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// Page-cross policy.
+    pub policy: PgcPolicyKind,
+    /// L2C prefetcher.
+    pub l2: L2PrefetcherKind,
+    /// Huge-page fraction (0 disables).
+    pub huge_fraction: f64,
+    /// Warm-up instructions (0 = first third of the recording).
+    pub warmup: u64,
+    /// Measured instructions (0 = rest of the recording).
+    pub instructions: u64,
+}
+
+impl Default for ReplayArgs {
+    fn default() -> Self {
+        Self {
+            trace: String::new(),
+            prefetcher: PrefetcherKind::Berti,
+            policy: PgcPolicyKind::Dripper,
+            l2: L2PrefetcherKind::None,
+            huge_fraction: 0.0,
+            warmup: 0,
+            instructions: 0,
+        }
+    }
 }
 
 /// Arguments of the `run` subcommand.
@@ -126,7 +185,11 @@ fn parse_suite(s: &str) -> Result<SuiteId, CliError> {
     SuiteId::ALL
         .into_iter()
         .find(|id| id.label() == s)
-        .ok_or_else(|| CliError(format!("unknown suite '{s}' (try: spec06, gap, qmm_int, …)")))
+        .ok_or_else(|| {
+            CliError(format!(
+                "unknown suite '{s}' (try: spec06, gap, qmm_int, …)"
+            ))
+        })
 }
 
 fn parse_prefetcher(s: &str) -> Result<PrefetcherKind, CliError> {
@@ -168,7 +231,9 @@ fn parse_l2(s: &str) -> Result<L2PrefetcherKind, CliError> {
 /// Parses an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut it = args.iter().map(String::as_str);
-    let Some(cmd) = it.next() else { return Ok(Command::Help) };
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
 
     let mut kv = std::collections::HashMap::new();
     let rest: Vec<&str> = it.collect();
@@ -188,7 +253,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
 
     match cmd {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "list" => Ok(Command::List { suite: get("suite").map(parse_suite).transpose()? }),
+        "list" => Ok(Command::List {
+            suite: get("suite").map(parse_suite).transpose()?,
+        }),
         "run" => {
             let mut a = RunArgs {
                 workload: get("workload")
@@ -211,8 +278,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError(format!("--huge expects a fraction, got '{p}'")))?;
             }
             if let Some(p) = get("warmup") {
-                a.warmup =
-                    p.parse().map_err(|_| CliError(format!("--warmup expects a count, got '{p}'")))?;
+                a.warmup = p
+                    .parse()
+                    .map_err(|_| CliError(format!("--warmup expects a count, got '{p}'")))?;
             }
             if let Some(p) = get("instructions") {
                 a.instructions = p
@@ -225,31 +293,93 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             workload: get("workload")
                 .ok_or_else(|| CliError("compare requires --workload <name>".into()))?
                 .to_string(),
-            prefetcher: get("prefetcher").map(parse_prefetcher).transpose()?.unwrap_or(PrefetcherKind::Berti),
+            prefetcher: get("prefetcher")
+                .map(parse_prefetcher)
+                .transpose()?
+                .unwrap_or(PrefetcherKind::Berti),
         }),
         "sweep" => Ok(Command::Sweep {
             suite: parse_suite(
                 get("suite").ok_or_else(|| CliError("sweep requires --suite <id>".into()))?,
             )?,
-            prefetcher: get("prefetcher").map(parse_prefetcher).transpose()?.unwrap_or(PrefetcherKind::Berti),
+            prefetcher: get("prefetcher")
+                .map(parse_prefetcher)
+                .transpose()?
+                .unwrap_or(PrefetcherKind::Berti),
             jobs: parse_jobs(get("jobs"))?,
         }),
         "campaign" => Ok(Command::Campaign {
             suite: get("suite").map(parse_suite).transpose()?,
-            prefetcher: get("prefetcher").map(parse_prefetcher).transpose()?.unwrap_or(PrefetcherKind::Berti),
+            prefetcher: get("prefetcher")
+                .map(parse_prefetcher)
+                .transpose()?
+                .unwrap_or(PrefetcherKind::Berti),
             jobs: parse_jobs(get("jobs"))?,
             per_suite: get("per-suite")
                 .map(|p| {
-                    p.parse::<usize>()
-                        .ok()
-                        .filter(|&k| k >= 1)
-                        .ok_or_else(|| {
-                            CliError(format!("--per-suite expects a positive count, got '{p}'"))
-                        })
+                    p.parse::<usize>().ok().filter(|&k| k >= 1).ok_or_else(|| {
+                        CliError(format!("--per-suite expects a positive count, got '{p}'"))
+                    })
                 })
                 .transpose()?,
+            trace_dir: get("trace-dir").map(str::to_string),
         }),
-        other => Err(CliError(format!("unknown subcommand '{other}' (try 'help')"))),
+        "record" => Ok(Command::Record {
+            workload: get("workload")
+                .ok_or_else(|| CliError("record requires --workload <name>".into()))?
+                .to_string(),
+            out: get("out").map(str::to_string),
+            warmup: get("warmup")
+                .map(|p| {
+                    p.parse()
+                        .map_err(|_| CliError(format!("--warmup expects a count, got '{p}'")))
+                })
+                .transpose()?
+                .unwrap_or(0),
+            instructions: get("instructions")
+                .map(|p| {
+                    p.parse()
+                        .map_err(|_| CliError(format!("--instructions expects a count, got '{p}'")))
+                })
+                .transpose()?
+                .unwrap_or(0),
+        }),
+        "replay" => {
+            let mut a = ReplayArgs {
+                trace: get("trace")
+                    .ok_or_else(|| CliError("replay requires --trace <path>".into()))?
+                    .to_string(),
+                ..Default::default()
+            };
+            if let Some(p) = get("prefetcher") {
+                a.prefetcher = parse_prefetcher(p)?;
+            }
+            if let Some(p) = get("policy") {
+                a.policy = parse_policy(p)?;
+            }
+            if let Some(p) = get("l2") {
+                a.l2 = parse_l2(p)?;
+            }
+            if let Some(p) = get("huge") {
+                a.huge_fraction = p
+                    .parse()
+                    .map_err(|_| CliError(format!("--huge expects a fraction, got '{p}'")))?;
+            }
+            if let Some(p) = get("warmup") {
+                a.warmup = p
+                    .parse()
+                    .map_err(|_| CliError(format!("--warmup expects a count, got '{p}'")))?;
+            }
+            if let Some(p) = get("instructions") {
+                a.instructions = p
+                    .parse()
+                    .map_err(|_| CliError(format!("--instructions expects a count, got '{p}'")))?;
+            }
+            Ok(Command::Replay(a))
+        }
+        other => Err(CliError(format!(
+            "unknown subcommand '{other}' (try 'help')"
+        ))),
     }
 }
 
@@ -266,6 +396,10 @@ USAGE:
   pagecross compare --workload <name> [--prefetcher <p>]
   pagecross sweep --suite <id> [--prefetcher <p>] [--jobs <n>]
   pagecross campaign [--suite <id>] [--prefetcher <p>] [--jobs <n>] [--per-suite <k>]
+                     [--trace-dir <dir>]
+  pagecross record --workload <name> [--out <path>] [--warmup <n>] [--instructions <n>]
+  pagecross replay --trace <path> [--prefetcher <p>] [--policy <q>] [--l2 <p>]
+                   [--huge <fraction>] [--warmup <n>] [--instructions <n>]
 
 Suites: spec06 spec17 gap ligra parsec gkb5 qmm_int qmm_fp
 
@@ -274,7 +408,78 @@ thread count, defaulting to all available cores. Results are
 deterministic for a given seed regardless of the worker count.
 --per-suite caps the workloads taken per suite (default: all of a
 filtered --suite, or 4 per suite for the cross-suite set).
+
+record serializes a workload's stream to a compact checksummed .pct
+file (default length: the workload's warm-up + measured defaults).
+replay simulates such a file; with default lengths on both sides, the
+replayed counters are bit-identical to the direct run. campaign
+--trace-dir sweeps the scheme grid over every .pct file in a directory.
 ";
+
+/// Prints the standard single-run report block (shared by `run` and
+/// `replay`, so a replayed trace can be diffed against its direct run with
+/// plain text tools).
+fn print_report(r: &Report) {
+    println!("workload     {}", r.workload);
+    println!("prefetcher   {} / policy {}", r.prefetcher, r.policy);
+    println!(
+        "IPC          {:.4}  ({} instr, {} cycles)",
+        r.ipc(),
+        r.core.instructions,
+        r.core.cycles
+    );
+    println!(
+        "MPKI         l1i {:.2}  l1d {:.2}  llc {:.2}  dtlb {:.2}  stlb {:.2}",
+        r.l1i_mpki(),
+        r.l1d_mpki(),
+        r.llc_mpki(),
+        r.dtlb_mpki(),
+        r.stlb_mpki()
+    );
+    println!(
+        "prefetch     candidates {}  in-page {}  pgc-candidates {}",
+        r.prefetch.candidates, r.prefetch.inpage_issued, r.prefetch.pgc_candidates
+    );
+    println!(
+        "page-cross   issued {}  discarded {}  spec-walks {}  useful {}  useless {}",
+        r.prefetch.pgc_issued,
+        r.prefetch.pgc_discarded,
+        r.prefetch.speculative_walks,
+        r.l1d.pgc_useful,
+        r.l1d.pgc_useless
+    );
+    println!(
+        "quality      coverage {:.3}  accuracy {:.3}  pgc-accuracy {:.3}",
+        r.coverage(),
+        r.prefetch_accuracy(),
+        r.pgc_accuracy()
+    );
+}
+
+/// Collects the `.pct` files of a directory, sorted by name so the grid
+/// order (and therefore the output) is stable across filesystems.
+fn trace_dir_replays(dir: &Path) -> Result<Vec<TraceReplay>, CliError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| CliError(format!("cannot read trace dir '{}': {e}", dir.display())))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "pct"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError(format!("no .pct traces in '{}'", dir.display())));
+    }
+    paths
+        .iter()
+        .map(|p| {
+            // Full scan before the campaign starts: a corrupt trace fails
+            // here with a named file, not as a panic on some worker thread.
+            pagecross_trace::verify_file(p)
+                .and_then(|_| TraceReplay::open(p))
+                .map_err(|e| CliError(format!("cannot open trace '{}': {e}", p.display())))
+        })
+        .collect()
+}
 
 fn find_workload(name: &str) -> Result<&'static Workload, CliError> {
     for id in SuiteId::ALL {
@@ -282,7 +487,9 @@ fn find_workload(name: &str) -> Result<&'static Workload, CliError> {
             return Ok(w);
         }
     }
-    Err(CliError(format!("unknown workload '{name}' (use 'pagecross list')")))
+    Err(CliError(format!(
+        "unknown workload '{name}' (use 'pagecross list')"
+    )))
 }
 
 /// Formats the discard/permit/dripper row from three grid-ordered cell
@@ -303,9 +510,18 @@ fn compare_row(cells: &[WorkloadResult]) -> String {
 /// Runs the three core policies for `workloads` on the worker pool and
 /// prints one compare row per workload. `jobs == 0` resolves via
 /// [`env_jobs`].
-fn run_compare_grid(workloads: &[&Workload], pf: PrefetcherKind, jobs: usize) -> CampaignRun {
+fn run_compare_grid<S: Subject + ?Sized>(
+    workloads: &[&S],
+    pf: PrefetcherKind,
+    jobs: usize,
+) -> CampaignRun {
     let jobs = if jobs == 0 { env_jobs() } else { jobs };
-    let run = run_grid(workloads, &core_schemes(pf), &CampaignConfig::default(), jobs);
+    let run = run_grid(
+        workloads,
+        &core_schemes(pf),
+        &CampaignConfig::default(),
+        jobs,
+    );
     for cells in run.results.chunks(3) {
         println!("{}", compare_row(cells));
     }
@@ -330,7 +546,11 @@ pub fn execute(cmd: Command) -> i32 {
                         w.name(),
                         id.label(),
                         if w.is_seen() { "seen  " } else { "unseen" },
-                        if w.is_intensive() { "intensive" } else { "non-intensive" },
+                        if w.is_intensive() {
+                            "intensive"
+                        } else {
+                            "non-intensive"
+                        },
                     );
                 }
             }
@@ -355,23 +575,19 @@ pub fn execute(cmd: Command) -> i32 {
                     HugePagePolicy::None
                 })
                 .warmup(if a.warmup > 0 { a.warmup } else { dw })
-                .instructions(if a.instructions > 0 { a.instructions } else { di })
+                .instructions(if a.instructions > 0 {
+                    a.instructions
+                } else {
+                    di
+                })
                 .run_workload(w);
-            println!("workload     {}", r.workload);
-            println!("prefetcher   {} / policy {}", r.prefetcher, r.policy);
-            println!("IPC          {:.4}  ({} instr, {} cycles)", r.ipc(), r.core.instructions, r.core.cycles);
-            println!("MPKI         l1i {:.2}  l1d {:.2}  llc {:.2}  dtlb {:.2}  stlb {:.2}",
-                r.l1i_mpki(), r.l1d_mpki(), r.llc_mpki(), r.dtlb_mpki(), r.stlb_mpki());
-            println!("prefetch     candidates {}  in-page {}  pgc-candidates {}",
-                r.prefetch.candidates, r.prefetch.inpage_issued, r.prefetch.pgc_candidates);
-            println!("page-cross   issued {}  discarded {}  spec-walks {}  useful {}  useless {}",
-                r.prefetch.pgc_issued, r.prefetch.pgc_discarded, r.prefetch.speculative_walks,
-                r.l1d.pgc_useful, r.l1d.pgc_useless);
-            println!("quality      coverage {:.3}  accuracy {:.3}  pgc-accuracy {:.3}",
-                r.coverage(), r.prefetch_accuracy(), r.pgc_accuracy());
+            print_report(&r);
             0
         }
-        Command::Compare { workload, prefetcher } => match find_workload(&workload) {
+        Command::Compare {
+            workload,
+            prefetcher,
+        } => match find_workload(&workload) {
             Ok(w) => {
                 // The three schemes run concurrently on the pool.
                 run_compare_grid(&[w], prefetcher, 0);
@@ -382,23 +598,47 @@ pub fn execute(cmd: Command) -> i32 {
                 2
             }
         },
-        Command::Sweep { suite: id, prefetcher, jobs } => {
-            let ws: Vec<&Workload> =
-                seen_workloads().into_iter().filter(|w| w.suite() == id).collect();
+        Command::Sweep {
+            suite: id,
+            prefetcher,
+            jobs,
+        } => {
+            let ws: Vec<&Workload> = seen_workloads()
+                .into_iter()
+                .filter(|w| w.suite() == id)
+                .collect();
             let run = run_compare_grid(&ws, prefetcher, jobs);
             println!("{}", run.timing_line());
             0
         }
-        Command::Campaign { suite: filter, prefetcher, jobs, per_suite } => {
-            let ws: Vec<&Workload> = match filter {
-                Some(id) => seen_workloads()
-                    .into_iter()
-                    .filter(|w| w.suite() == id)
-                    .take(per_suite.unwrap_or(usize::MAX))
-                    .collect(),
-                None => pagecross_workloads::representative_seen(per_suite.unwrap_or(4)),
+        Command::Campaign {
+            suite: filter,
+            prefetcher,
+            jobs,
+            per_suite,
+            trace_dir,
+        } => {
+            let run = if let Some(dir) = trace_dir {
+                let replays = match trace_dir_replays(Path::new(&dir)) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 2;
+                    }
+                };
+                let refs: Vec<&TraceReplay> = replays.iter().collect();
+                run_compare_grid(&refs, prefetcher, jobs)
+            } else {
+                let ws: Vec<&Workload> = match filter {
+                    Some(id) => seen_workloads()
+                        .into_iter()
+                        .filter(|w| w.suite() == id)
+                        .take(per_suite.unwrap_or(usize::MAX))
+                        .collect(),
+                    None => pagecross_workloads::representative_seen(per_suite.unwrap_or(4)),
+                };
+                run_compare_grid(&ws, prefetcher, jobs)
             };
-            let run = run_compare_grid(&ws, prefetcher, jobs);
             println!();
             for t in &run.timings {
                 println!(
@@ -410,6 +650,77 @@ pub fn execute(cmd: Command) -> i32 {
                 println!("[shard {}] {} cells, busy {:.2?}", s.shard, s.cells, s.busy);
             }
             println!("{}", run.timing_line());
+            0
+        }
+        Command::Record {
+            workload,
+            out,
+            warmup,
+            instructions,
+        } => {
+            let w = match find_workload(&workload) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let (dw, di) = w.default_lengths();
+            let warm = if warmup > 0 { warmup } else { dw };
+            let meas = if instructions > 0 { instructions } else { di };
+            let path = PathBuf::from(out.unwrap_or_else(|| format!("{workload}.pct")));
+            match pagecross_trace::record(w, warm + meas, w.params().seed, &path) {
+                Ok(meta) => {
+                    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                    println!(
+                        "recorded {} instructions of {} to {} ({} bytes, {:.2} bytes/instr)",
+                        meta.instr_count,
+                        meta.name,
+                        path.display(),
+                        bytes,
+                        bytes as f64 / meta.instr_count.max(1) as f64
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: recording to '{}': {e}", path.display());
+                    2
+                }
+            }
+        }
+        Command::Replay(a) => {
+            // Full scan up front (every chunk CRC + end marker) so a trace
+            // corrupted past the header is a clean CLI error, not a panic
+            // halfway through the simulation.
+            if let Err(e) = pagecross_trace::verify_file(Path::new(&a.trace)) {
+                eprintln!("error: cannot open trace '{}': {e}", a.trace);
+                return 2;
+            }
+            let replay = match TraceReplay::open(Path::new(&a.trace)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: cannot open trace '{}': {e}", a.trace);
+                    return 2;
+                }
+            };
+            let (dw, di) = replay.lengths();
+            let r = SimulationBuilder::new()
+                .prefetcher(a.prefetcher)
+                .pgc_policy(a.policy)
+                .l2_prefetcher(a.l2)
+                .huge_pages(if a.huge_fraction > 0.0 {
+                    HugePagePolicy::Fraction(a.huge_fraction)
+                } else {
+                    HugePagePolicy::None
+                })
+                .warmup(if a.warmup > 0 { a.warmup } else { dw })
+                .instructions(if a.instructions > 0 {
+                    a.instructions
+                } else {
+                    di
+                })
+                .run_workload(&replay);
+            print_report(&r);
             0
         }
     }
@@ -433,7 +744,9 @@ mod tests {
     fn list_with_suite() {
         assert_eq!(
             parse(&argv("list --suite gap")).unwrap(),
-            Command::List { suite: Some(SuiteId::Gap) }
+            Command::List {
+                suite: Some(SuiteId::Gap)
+            }
         );
         assert!(parse(&argv("list --suite nope")).is_err());
     }
@@ -445,7 +758,9 @@ mod tests {
              --warmup 1000 --instructions 2000",
         ))
         .unwrap();
-        let Command::Run(a) = cmd else { panic!("expected run") };
+        let Command::Run(a) = cmd else {
+            panic!("expected run")
+        };
         assert_eq!(a.workload, "gap.s00");
         assert_eq!(a.prefetcher, PrefetcherKind::Bop);
         assert_eq!(a.policy, PgcPolicyKind::PermitPgc);
@@ -485,15 +800,23 @@ mod tests {
     fn sweep_and_campaign_parse_jobs() {
         assert_eq!(
             parse(&argv("sweep --suite gap --jobs 8")).unwrap(),
-            Command::Sweep { suite: SuiteId::Gap, prefetcher: PrefetcherKind::Berti, jobs: 8 }
+            Command::Sweep {
+                suite: SuiteId::Gap,
+                prefetcher: PrefetcherKind::Berti,
+                jobs: 8
+            }
         );
         assert_eq!(
-            parse(&argv("campaign --suite gap --prefetcher bop --jobs 4 --per-suite 2")).unwrap(),
+            parse(&argv(
+                "campaign --suite gap --prefetcher bop --jobs 4 --per-suite 2"
+            ))
+            .unwrap(),
             Command::Campaign {
                 suite: Some(SuiteId::Gap),
                 prefetcher: PrefetcherKind::Bop,
                 jobs: 4,
                 per_suite: Some(2),
+                trace_dir: None,
             }
         );
         // Defaults: jobs 0 (auto), representative cross-suite set of 4.
@@ -504,11 +827,101 @@ mod tests {
                 prefetcher: PrefetcherKind::Berti,
                 jobs: 0,
                 per_suite: None,
+                trace_dir: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("campaign --trace-dir traces --jobs 2")).unwrap(),
+            Command::Campaign {
+                suite: None,
+                prefetcher: PrefetcherKind::Berti,
+                jobs: 2,
+                per_suite: None,
+                trace_dir: Some("traces".to_string()),
             }
         );
         assert!(parse(&argv("campaign --jobs 0")).is_err());
         assert!(parse(&argv("campaign --jobs many")).is_err());
         assert!(parse(&argv("campaign --per-suite 0")).is_err());
+    }
+
+    #[test]
+    fn record_and_replay_parse() {
+        assert_eq!(
+            parse(&argv(
+                "record --workload gap.s00 --out /tmp/g.pct --warmup 100 --instructions 200"
+            ))
+            .unwrap(),
+            Command::Record {
+                workload: "gap.s00".to_string(),
+                out: Some("/tmp/g.pct".to_string()),
+                warmup: 100,
+                instructions: 200,
+            }
+        );
+        assert_eq!(
+            parse(&argv("record --workload gap.s00")).unwrap(),
+            Command::Record {
+                workload: "gap.s00".to_string(),
+                out: None,
+                warmup: 0,
+                instructions: 0
+            }
+        );
+        assert!(
+            parse(&argv("record")).is_err(),
+            "record requires --workload"
+        );
+
+        let Command::Replay(a) = parse(&argv(
+            "replay --trace /tmp/g.pct --prefetcher ipcp --policy permit",
+        ))
+        .unwrap() else {
+            panic!("expected replay")
+        };
+        assert_eq!(a.trace, "/tmp/g.pct");
+        assert_eq!(a.prefetcher, PrefetcherKind::Ipcp);
+        assert_eq!(a.policy, PgcPolicyKind::PermitPgc);
+        assert_eq!(a.warmup, 0, "defaults derive from the recording length");
+        assert!(parse(&argv("replay")).is_err(), "replay requires --trace");
+    }
+
+    #[test]
+    fn record_then_replay_roundtrip_via_execute() {
+        let dir = std::env::temp_dir().join(format!("pct-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("gap.s00.pct");
+        let code = execute(Command::Record {
+            workload: "gap.s00".to_string(),
+            out: Some(out.to_string_lossy().into_owned()),
+            warmup: 500,
+            instructions: 1_500,
+        });
+        assert_eq!(code, 0);
+        let code = execute(Command::Replay(ReplayArgs {
+            trace: out.to_string_lossy().into_owned(),
+            ..Default::default()
+        }));
+        assert_eq!(code, 0);
+        // A trace-dir campaign over the same directory also runs clean.
+        let code = execute(Command::Campaign {
+            suite: None,
+            prefetcher: PrefetcherKind::Berti,
+            jobs: 2,
+            per_suite: None,
+            trace_dir: Some(dir.to_string_lossy().into_owned()),
+        });
+        assert_eq!(code, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_dir_errors_are_reported() {
+        let empty = std::env::temp_dir().join(format!("pct-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(trace_dir_replays(&empty).is_err(), "no traces -> error");
+        assert!(trace_dir_replays(Path::new("/nonexistent-dir")).is_err());
+        std::fs::remove_dir_all(&empty).ok();
     }
 
     #[test]
@@ -521,6 +934,11 @@ mod tests {
     #[test]
     fn execute_list_and_help_succeed() {
         assert_eq!(execute(Command::Help), 0);
-        assert_eq!(execute(Command::List { suite: Some(SuiteId::QmmFp) }), 0);
+        assert_eq!(
+            execute(Command::List {
+                suite: Some(SuiteId::QmmFp)
+            }),
+            0
+        );
     }
 }

@@ -45,7 +45,11 @@ impl MicroOpts {
     /// `warmup = 3`, `samples = 11`.
     pub fn from_env() -> Self {
         let read = |key: &str, default: u32| {
-            std::env::var(key).ok().and_then(|s| s.parse::<u32>().ok()).unwrap_or(default).max(1)
+            std::env::var(key)
+                .ok()
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(default)
+                .max(1)
         };
         Self {
             warmup: read("PAGECROSS_BENCH_WARMUP", 3),
@@ -73,7 +77,11 @@ impl Micro {
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: &str) -> Group {
-        Group { name: name.to_string(), throughput_elems: None, opts: self.opts }
+        Group {
+            name: name.to_string(),
+            throughput_elems: None,
+            opts: self.opts,
+        }
     }
 }
 
@@ -100,7 +108,10 @@ impl Group {
     /// Runs one benchmark: warm-up, then median-of-N sampling, then a
     /// one-line report on stdout.
     pub fn bench_function(&mut self, name: &str, mut body: impl FnMut(&mut Bencher)) {
-        let mut b = Bencher { durations: Vec::new(), mode: Mode::Warmup };
+        let mut b = Bencher {
+            durations: Vec::new(),
+            mode: Mode::Warmup,
+        };
         for _ in 0..self.opts.warmup {
             body(&mut b);
         }
@@ -109,7 +120,10 @@ impl Group {
             body(&mut b);
         }
         let stats = SampleStats::from_durations(&b.durations);
-        println!("{}", stats.report_line(&self.name, name, self.throughput_elems));
+        println!(
+            "{}",
+            stats.report_line(&self.name, name, self.throughput_elems)
+        );
     }
 
     /// Ends the group (kept for criterion-API parity; nothing to flush).
@@ -159,7 +173,12 @@ impl SampleStats {
     /// Median/min/max over `durations` (empty input yields zeros).
     pub fn from_durations(durations: &[Duration]) -> Self {
         if durations.is_empty() {
-            return Self { median: Duration::ZERO, min: Duration::ZERO, max: Duration::ZERO, n: 0 };
+            return Self {
+                median: Duration::ZERO,
+                min: Duration::ZERO,
+                max: Duration::ZERO,
+                n: 0,
+            };
         }
         let mut sorted: Vec<Duration> = durations.to_vec();
         sorted.sort();
@@ -169,7 +188,12 @@ impl SampleStats {
         } else {
             sorted[mid]
         };
-        Self { median, min: sorted[0], max: *sorted.last().unwrap(), n: sorted.len() }
+        Self {
+            median,
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            n: sorted.len(),
+        }
     }
 
     /// Formats the stable single-line report used by the bench targets.
@@ -240,7 +264,10 @@ mod tests {
 
     #[test]
     fn warmup_runs_are_not_recorded() {
-        let mut m = Micro::new(MicroOpts { warmup: 3, samples: 5 });
+        let mut m = Micro::new(MicroOpts {
+            warmup: 3,
+            samples: 5,
+        });
         let mut g = m.benchmark_group("t");
         let runs = std::cell::Cell::new(0u32);
         g.bench_function("count", |b| {

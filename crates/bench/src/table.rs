@@ -55,7 +55,11 @@ impl Summary {
             self.experiment,
             self.paper,
             self.measured,
-            if self.shape_holds { "HOLDS" } else { "DIVERGES" }
+            if self.shape_holds {
+                "HOLDS"
+            } else {
+                "DIVERGES"
+            }
         );
     }
 }

@@ -47,7 +47,12 @@ impl UpdateBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "update buffer capacity must be positive");
-        Self { entries: VecDeque::with_capacity(capacity), capacity, hits: 0, misses: 0 }
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Inserts an entry, evicting the oldest when full. An existing entry
@@ -100,7 +105,11 @@ mod tests {
     use super::*;
 
     fn entry(line: u64) -> UpdateEntry {
-        UpdateEntry { line, indices: vec![7, 9], sf_mask: 0b01 }
+        UpdateEntry {
+            line,
+            indices: vec![7, 9],
+            sf_mask: 0b01,
+        }
     }
 
     #[test]

@@ -128,7 +128,11 @@ mod tests {
 
     #[test]
     fn dripper_storage_matches_table_iii() {
-        for t in [TargetPrefetcher::Berti, TargetPrefetcher::Ipcp, TargetPrefetcher::Bop] {
+        for t in [
+            TargetPrefetcher::Berti,
+            TargetPrefetcher::Ipcp,
+            TargetPrefetcher::Bop,
+        ] {
             let kb = dripper_config(t).storage_kb();
             assert!((kb - 1.44).abs() < 0.05, "{t:?}: {kb:.3} KB");
         }
@@ -159,8 +163,14 @@ mod tests {
     fn ppf_features_are_prefetcher_independent() {
         // None of the PPF features consults the prefetcher's delta — that is
         // what "excluding features specialised to SPP's metadata" leaves.
-        let c0 = crate::features::FeatureContext { delta: 1, ..Default::default() };
-        let c1 = crate::features::FeatureContext { delta: 9, ..Default::default() };
+        let c0 = crate::features::FeatureContext {
+            delta: 1,
+            ..Default::default()
+        };
+        let c1 = crate::features::FeatureContext {
+            delta: 9,
+            ..Default::default()
+        };
         for f in ppf_features() {
             assert_eq!(f.value(&c0), f.value(&c1), "{f:?} must not depend on delta");
         }

@@ -208,9 +208,7 @@ impl ProgramFeature {
             PcPlusDelta => ctx.pc.wrapping_add(delta),
             VaPlusDelta => line.wrapping_add(delta),
             PcXorVaXorDelta => ctx.pc ^ line ^ delta,
-            DeltaHistXor => {
-                (ctx.delta_hist[2] as u64) ^ (ctx.delta_hist[1] as u64) ^ delta
-            }
+            DeltaHistXor => (ctx.delta_hist[2] as u64) ^ (ctx.delta_hist[1] as u64) ^ delta,
             PcXorDeltaHist => ctx.pc ^ (ctx.delta_hist[1] as u64) ^ delta,
             PageDistance => ((ctx.target_va >> 12) as i64 - (ctx.va >> 12) as i64) as u64,
             PcXorPageDistance => {
@@ -233,7 +231,10 @@ impl ProgramFeature {
     ///
     /// Panics (debug) if `entries` is not a power of two.
     pub fn index(self, ctx: &FeatureContext, entries: usize) -> usize {
-        debug_assert!(entries.is_power_of_two(), "weight tables are power-of-two sized");
+        debug_assert!(
+            entries.is_power_of_two(),
+            "weight tables are power-of-two sized"
+        );
         (mix64(self.value(ctx)) & (entries as u64 - 1)) as usize
     }
 
@@ -304,7 +305,10 @@ mod tests {
             DeltaPlusFirstAccess,
             Delta, // Table II (DRIPPER for Berti)
         ] {
-            assert!(b.contains(&f), "Table I/II feature {f:?} missing from bouquet");
+            assert!(
+                b.contains(&f),
+                "Table I/II feature {f:?} missing from bouquet"
+            );
         }
     }
 
@@ -322,9 +326,18 @@ mod tests {
         let mut b = ctx();
         a.delta = 1;
         b.delta = -1;
-        assert_ne!(ProgramFeature::Delta.value(&a), ProgramFeature::Delta.value(&b));
-        assert_ne!(ProgramFeature::PcXorDelta.value(&a), ProgramFeature::PcXorDelta.value(&b));
-        assert_ne!(ProgramFeature::DeltaSign.value(&a), ProgramFeature::DeltaSign.value(&b));
+        assert_ne!(
+            ProgramFeature::Delta.value(&a),
+            ProgramFeature::Delta.value(&b)
+        );
+        assert_ne!(
+            ProgramFeature::PcXorDelta.value(&a),
+            ProgramFeature::PcXorDelta.value(&b)
+        );
+        assert_ne!(
+            ProgramFeature::DeltaSign.value(&a),
+            ProgramFeature::DeltaSign.value(&b)
+        );
     }
 
     #[test]
@@ -358,7 +371,10 @@ mod tests {
                 collisions += 1;
             }
         }
-        assert!(collisions < 8, "hash should separate adjacent deltas, got {collisions}");
+        assert!(
+            collisions < 8,
+            "hash should separate adjacent deltas, got {collisions}"
+        );
     }
 
     #[test]

@@ -63,9 +63,8 @@ impl FilterConfig {
     /// Storage cost in bits (Table III accounting): weight tables + system
     /// feature counters + vUB/pUB entries at 36 tag + 12 index bits each.
     pub fn storage_bits(&self) -> u64 {
-        let wt = self.program_features.len() as u64
-            * self.wt_entries as u64
-            * self.weight_bits as u64;
+        let wt =
+            self.program_features.len() as u64 * self.wt_entries as u64 * self.weight_bits as u64;
         let sf = self.system_features.len() as u64 * self.weight_bits as u64;
         let ub_entry_bits = 36 + 12;
         let ub = (self.vub_entries as u64 + self.pub_entries as u64) * ub_entry_bits;
@@ -120,7 +119,9 @@ impl PageCrossFilter {
             sf: SystemFeatureBank::new(&cfg.system_features, cfg.weight_bits),
             vub: UpdateBuffer::new(cfg.vub_entries.max(1)),
             pbuf: UpdateBuffer::new(cfg.pub_entries.max(1)),
-            adaptive: cfg.adaptive.then(|| AdaptiveThreshold::new(cfg.threshold_cfg)),
+            adaptive: cfg
+                .adaptive
+                .then(|| AdaptiveThreshold::new(cfg.threshold_cfg)),
             static_threshold: cfg.static_threshold,
             pending_issue: None,
             stats: FilterStats::default(),
@@ -135,7 +136,9 @@ impl PageCrossFilter {
 
     /// The activation threshold currently in force.
     pub fn threshold(&self) -> i32 {
-        self.adaptive.as_ref().map_or(self.static_threshold, |a| a.threshold())
+        self.adaptive
+            .as_ref()
+            .map_or(self.static_threshold, |a| a.threshold())
     }
 
     /// The cumulative weight the filter would compute for this context.
@@ -162,10 +165,16 @@ impl PageCrossFilter {
         let w_final = self.bank.predict_at(&indices) + self.sf.predict(mask);
         let issue = !disabled && w_final > self.threshold();
 
-        if std::env::var_os("MOKA_DEBUG_DECIDE").is_some() && self.stats.decisions.is_multiple_of(500) {
+        if std::env::var_os("MOKA_DEBUG_DECIDE").is_some()
+            && self.stats.decisions.is_multiple_of(500)
+        {
             eprintln!(
                 "decision={} delta={} w={} t_a={} issue={}",
-                self.stats.decisions, cand.delta, w_final, self.threshold(), issue
+                self.stats.decisions,
+                cand.delta,
+                w_final,
+                self.threshold(),
+                issue
             );
         }
         if issue {
@@ -187,7 +196,11 @@ impl PageCrossFilter {
     /// recording it in the pUB.
     pub fn confirm_issue(&mut self, phys_line: u64) {
         if let Some((indices, sf_mask)) = self.pending_issue.take() {
-            self.pbuf.insert(UpdateEntry { line: phys_line, indices, sf_mask });
+            self.pbuf.insert(UpdateEntry {
+                line: phys_line,
+                indices,
+                sf_mask,
+            });
         }
     }
 
@@ -264,7 +277,13 @@ mod tests {
     }
 
     fn ctx() -> FeatureContext {
-        FeatureContext { pc: 0x400, va: 0x1FC0, target_va: 0x2000, delta: 1, ..Default::default() }
+        FeatureContext {
+            pc: 0x400,
+            va: 0x1FC0,
+            target_va: 0x2000,
+            delta: 1,
+            ..Default::default()
+        }
     }
 
     fn filter(static_thr: i32) -> PageCrossFilter {
@@ -357,18 +376,23 @@ mod tests {
             }
             f.confirm_issue(i + 1);
         }
-        assert!(flips > 0, "negative training must eventually flip the decision");
+        assert!(
+            flips > 0,
+            "negative training must eventually flip the decision"
+        );
     }
 
     #[test]
     fn system_features_contribute_when_gated() {
-        let mut cfg =
-            FilterConfig::with_features(vec![], vec![SystemFeature::StlbMissRate]);
+        let mut cfg = FilterConfig::with_features(vec![], vec![SystemFeature::StlbMissRate]);
         cfg.adaptive = false;
         cfg.static_threshold = 0;
         let mut f = PageCrossFilter::new(cfg);
         // High sTLB miss rate activates the feature.
-        let hot = SystemSnapshot { stlb_miss_rate: 0.5, ..Default::default() };
+        let hot = SystemSnapshot {
+            stlb_miss_rate: 0.5,
+            ..Default::default()
+        };
         // Train it positive once via the vUB.
         assert_eq!(f.decide(&cand(0x2000), &ctx(), &hot), Decision::Discard);
         f.on_l1d_demand_miss(VirtAddr::new(0x2000).line().raw());
@@ -410,6 +434,9 @@ mod tests {
             vec![SystemFeature::StlbMpki, SystemFeature::StlbMissRate],
         );
         let kb = cfg.storage_kb();
-        assert!((kb - 1.44).abs() < 0.05, "DRIPPER storage should be ~1.44KB, got {kb:.3}");
+        assert!(
+            (kb - 1.44).abs() < 0.05,
+            "DRIPPER storage should be ~1.44KB, got {kb:.3}"
+        );
     }
 }

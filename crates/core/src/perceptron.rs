@@ -23,8 +23,14 @@ impl WeightTable {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(feature: ProgramFeature, entries: usize, bits: u32) -> Self {
-        assert!(entries.is_power_of_two(), "weight tables are power-of-two sized");
-        Self { feature, weights: vec![SatCounter::new(bits); entries] }
+        assert!(
+            entries.is_power_of_two(),
+            "weight tables are power-of-two sized"
+        );
+        Self {
+            feature,
+            weights: vec![SatCounter::new(bits); entries],
+        }
     }
 
     /// The feature this table is indexed with.
@@ -72,7 +78,12 @@ pub struct PerceptronBank {
 impl PerceptronBank {
     /// Builds one table per feature.
     pub fn new(features: &[ProgramFeature], entries: usize, bits: u32) -> Self {
-        Self { tables: features.iter().map(|&f| WeightTable::new(f, entries, bits)).collect() }
+        Self {
+            tables: features
+                .iter()
+                .map(|&f| WeightTable::new(f, entries, bits))
+                .collect(),
+        }
     }
 
     /// Number of tables (= selected features).
@@ -102,7 +113,11 @@ impl PerceptronBank {
 
     /// Sum of weights at stored indices.
     pub fn predict_at(&self, indices: &[u16]) -> i32 {
-        self.tables.iter().zip(indices).map(|(t, &i)| t.weight_at(i) as i32).sum()
+        self.tables
+            .iter()
+            .zip(indices)
+            .map(|(t, &i)| t.weight_at(i) as i32)
+            .sum()
     }
 
     /// Positive training at stored indices.
@@ -131,7 +146,13 @@ mod tests {
     use super::*;
 
     fn ctx(pc: u64, delta: i64) -> FeatureContext {
-        FeatureContext { pc, delta, va: 0x1000, target_va: 0x2000, ..Default::default() }
+        FeatureContext {
+            pc,
+            delta,
+            va: 0x1000,
+            target_va: 0x2000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -182,8 +203,7 @@ mod tests {
 
     #[test]
     fn multiple_features_sum() {
-        let mut bank =
-            PerceptronBank::new(&[ProgramFeature::Delta, ProgramFeature::Pc], 512, 5);
+        let mut bank = PerceptronBank::new(&[ProgramFeature::Delta, ProgramFeature::Pc], 512, 5);
         let c = ctx(5, 6);
         let idx = bank.indices(&c);
         bank.reward(&idx); // both tables +1

@@ -129,7 +129,11 @@ pub struct FilterPolicy {
 impl FilterPolicy {
     /// Wraps a filter under a report name.
     pub fn new(name: &'static str, filter: PageCrossFilter) -> Self {
-        Self { name, filter, allow_walk: true }
+        Self {
+            name,
+            filter,
+            allow_walk: true,
+        }
     }
 
     /// Access to the wrapped filter (stats, threshold).
@@ -150,7 +154,9 @@ impl PgcPolicy for FilterPolicy {
         snap: &SystemSnapshot,
     ) -> PolicyAction {
         match self.filter.decide(cand, ctx, snap) {
-            Decision::Issue => PolicyAction::Issue { allow_walk: self.allow_walk },
+            Decision::Issue => PolicyAction::Issue {
+                allow_walk: self.allow_walk,
+            },
             Decision::Discard => PolicyAction::Discard,
         }
     }
@@ -204,9 +210,15 @@ mod tests {
         let c = cand();
         let ctx = FeatureContext::default();
         let s = SystemSnapshot::default();
-        assert_eq!(PermitPgc.decide(&c, &ctx, &s), PolicyAction::Issue { allow_walk: true });
+        assert_eq!(
+            PermitPgc.decide(&c, &ctx, &s),
+            PolicyAction::Issue { allow_walk: true }
+        );
         assert_eq!(DiscardPgc.decide(&c, &ctx, &s), PolicyAction::Discard);
-        assert_eq!(DiscardPtw.decide(&c, &ctx, &s), PolicyAction::Issue { allow_walk: false });
+        assert_eq!(
+            DiscardPtw.decide(&c, &ctx, &s),
+            PolicyAction::Issue { allow_walk: false }
+        );
     }
 
     #[test]
@@ -225,13 +237,19 @@ mod tests {
         cfg.static_threshold = 0;
         let mut p = FilterPolicy::new("test", PageCrossFilter::new(cfg));
         let c = cand();
-        let ctx = FeatureContext { delta: 1, ..Default::default() };
+        let ctx = FeatureContext {
+            delta: 1,
+            ..Default::default()
+        };
         let s = SystemSnapshot::default();
         assert_eq!(p.decide(&c, &ctx, &s), PolicyAction::Discard);
         p.on_l1d_demand_miss(c.target.line().raw());
         assert_eq!(p.filter().stats.vub_trainings, 1);
         // Trained once: weight 1 > 0 -> issue.
-        assert_eq!(p.decide(&c, &ctx, &s), PolicyAction::Issue { allow_walk: true });
+        assert_eq!(
+            p.decide(&c, &ctx, &s),
+            PolicyAction::Issue { allow_walk: true }
+        );
         p.on_issued(0xAA);
         p.on_pcb_eviction(0xAA, false);
         assert_eq!(p.filter().stats.pub_punishes, 1);

@@ -61,8 +61,10 @@ impl FeatureSet {
 /// The paper's candidate pool: the 55-feature program bouquet plus the six
 /// system features.
 pub fn candidate_pool() -> Vec<CandidateFeature> {
-    let mut v: Vec<CandidateFeature> =
-        ProgramFeature::bouquet().into_iter().map(CandidateFeature::Program).collect();
+    let mut v: Vec<CandidateFeature> = ProgramFeature::bouquet()
+        .into_iter()
+        .map(CandidateFeature::Program)
+        .collect();
     v.extend(SystemFeature::ALL.into_iter().map(CandidateFeature::System));
     v
 }
@@ -98,7 +100,10 @@ pub fn select_features<F>(
 where
     F: FnMut(&FeatureSet) -> f64,
 {
-    assert!(!candidates.is_empty(), "need at least one candidate feature");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one candidate feature"
+    );
     let mut evaluations = 0;
 
     // Round 1: isolated scores.
@@ -124,7 +129,12 @@ where
         }
     }
 
-    SelectionOutcome { selected, score: best_score, isolated_ranking: ranking, evaluations }
+    SelectionOutcome {
+        selected,
+        score: best_score,
+        isolated_ranking: ranking,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +171,11 @@ mod tests {
         assert!(out.selected.program.contains(&ProgramFeature::Delta));
         assert!(out.selected.system.contains(&SystemFeature::StlbMpki));
         assert!(out.selected.system.contains(&SystemFeature::StlbMissRate));
-        assert_eq!(out.selected.len(), 3, "nothing beyond the useful three is adopted");
+        assert_eq!(
+            out.selected.len(),
+            3,
+            "nothing beyond the useful three is adopted"
+        );
         assert!((out.score - 1.04).abs() < 1e-9);
     }
 

@@ -79,7 +79,10 @@ impl SystemFeatureBank {
     /// Builds a bank with default thresholds and `bits`-wide weights.
     pub fn new(features: &[SystemFeature], bits: u32) -> Self {
         Self {
-            features: features.iter().map(|&f| (f, f.default_threshold())).collect(),
+            features: features
+                .iter()
+                .map(|&f| (f, f.default_threshold()))
+                .collect(),
             weights: vec![SatCounter::new(bits); features.len()],
             bits,
         }
@@ -162,7 +165,11 @@ mod tests {
     use super::*;
 
     fn snap(stlb_mpki: f64, stlb_mr: f64) -> SystemSnapshot {
-        SystemSnapshot { stlb_mpki, stlb_miss_rate: stlb_mr, ..Default::default() }
+        SystemSnapshot {
+            stlb_mpki,
+            stlb_miss_rate: stlb_mr,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -247,7 +254,10 @@ mod tests {
             SystemFeature::LlcMpki,
             SystemFeature::LlcMissRate,
         ] {
-            assert!(f.active(&s, f.default_threshold()), "{f:?} should be active under pressure");
+            assert!(
+                f.active(&s, f.default_threshold()),
+                "{f:?} should be active under pressure"
+            );
             assert!(
                 !f.active(&SystemSnapshot::default(), f.default_threshold()),
                 "{f:?} should be inactive when idle"

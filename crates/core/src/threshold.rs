@@ -250,7 +250,10 @@ mod tests {
     use super::*;
 
     fn snap() -> SystemSnapshot {
-        SystemSnapshot { ipc: 1.0, ..Default::default() }
+        SystemSnapshot {
+            ipc: 1.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -264,7 +267,11 @@ mod tests {
     fn rob_pressure_forces_high() {
         let mut t = AdaptiveThreshold::default();
         // Without page-cross traffic the rule must not fire.
-        let quiet = SystemSnapshot { rob_occupancy: 0.95, inflight_l1d_misses: 16, ..snap() };
+        let quiet = SystemSnapshot {
+            rob_occupancy: 0.95,
+            inflight_l1d_misses: 16,
+            ..snap()
+        };
         t.spot_check(&quiet);
         assert_eq!(t.threshold(), -1);
         let s = SystemSnapshot {
@@ -282,11 +289,19 @@ mod tests {
     fn low_accuracy_spot_rule_needs_volume() {
         let mut t = AdaptiveThreshold::default();
         // Only 4 issued: not enough evidence.
-        let s = SystemSnapshot { pgc_useful: 0, pgc_useless: 4, ..snap() };
+        let s = SystemSnapshot {
+            pgc_useful: 0,
+            pgc_useless: 4,
+            ..snap()
+        };
         t.spot_check(&s);
         assert_eq!(t.threshold(), -1);
         // 40 issued, 10% accurate: force high.
-        let s = SystemSnapshot { pgc_useful: 4, pgc_useless: 36, ..snap() };
+        let s = SystemSnapshot {
+            pgc_useful: 4,
+            pgc_useless: 36,
+            ..snap()
+        };
         t.spot_check(&s);
         assert_eq!(t.threshold(), 14);
     }
@@ -294,7 +309,10 @@ mod tests {
     #[test]
     fn l1i_pressure_forces_medium() {
         let mut t = AdaptiveThreshold::default();
-        let s = SystemSnapshot { l1i_mpki: 9.0, ..snap() };
+        let s = SystemSnapshot {
+            l1i_mpki: 9.0,
+            ..snap()
+        };
         t.spot_check(&s);
         assert_eq!(t.threshold(), 6);
     }
@@ -304,7 +322,11 @@ mod tests {
         let mut t = AdaptiveThreshold::default();
         // Pressure alone (no inaccurate page-cross traffic) must not
         // disable.
-        let pressure_only = SystemSnapshot { llc_miss_rate: 0.95, llc_mpki: 60.0, ..snap() };
+        let pressure_only = SystemSnapshot {
+            llc_miss_rate: 0.95,
+            llc_mpki: 60.0,
+            ..snap()
+        };
         t.spot_check(&pressure_only);
         assert!(!t.is_disabled());
         let s = SystemSnapshot {
@@ -323,11 +345,19 @@ mod tests {
     #[test]
     fn accuracy_bands_at_epoch_end() {
         let mut t = AdaptiveThreshold::default();
-        let s = SystemSnapshot { pgc_useful: 4, pgc_useless: 6, ..snap() }; // 40%
+        let s = SystemSnapshot {
+            pgc_useful: 4,
+            pgc_useless: 6,
+            ..snap()
+        }; // 40%
         t.end_epoch(&s);
         assert_eq!(t.threshold(), 6, "accuracy in [T1, T2) forces medium");
         let mut t2 = AdaptiveThreshold::default();
-        let s2 = SystemSnapshot { pgc_useful: 1, pgc_useless: 9, ..snap() }; // 10%
+        let s2 = SystemSnapshot {
+            pgc_useful: 1,
+            pgc_useless: 9,
+            ..snap()
+        }; // 10%
         t2.end_epoch(&s2);
         assert_eq!(t2.threshold(), 14, "accuracy below T1 forces high");
     }
@@ -337,14 +367,26 @@ mod tests {
         let mut t = AdaptiveThreshold::default();
         // Force high via an inaccurate judgement, then prove quiet epochs
         // do NOT relax while the last judged accuracy was bad…
-        t.end_epoch(&SystemSnapshot { pgc_useful: 1, pgc_useless: 9, ..snap() });
+        t.end_epoch(&SystemSnapshot {
+            pgc_useful: 1,
+            pgc_useless: 9,
+            ..snap()
+        });
         assert_eq!(t.threshold(), 14);
         for _ in 0..5 {
             t.end_epoch(&snap());
         }
-        assert_eq!(t.threshold(), 14, "bad history blocks the silence relaxation");
+        assert_eq!(
+            t.threshold(),
+            14,
+            "bad history blocks the silence relaxation"
+        );
         // …but once a good judgement lands, quiet epochs ease back down.
-        t.end_epoch(&SystemSnapshot { pgc_useful: 10, pgc_useless: 0, ..snap() });
+        t.end_epoch(&SystemSnapshot {
+            pgc_useful: 10,
+            pgc_useless: 0,
+            ..snap()
+        });
         for _ in 0..30 {
             t.end_epoch(&snap());
         }
@@ -354,24 +396,48 @@ mod tests {
     #[test]
     fn accuracy_delta_moves_threshold_by_one() {
         let mut t = AdaptiveThreshold::default();
-        t.end_epoch(&SystemSnapshot { pgc_useful: 6, pgc_useless: 4, ..snap() }); // 60%
+        t.end_epoch(&SystemSnapshot {
+            pgc_useful: 6,
+            pgc_useless: 4,
+            ..snap()
+        }); // 60%
         let base = t.threshold();
         // Rising accuracy -> more aggressive (threshold down).
-        t.end_epoch(&SystemSnapshot { pgc_useful: 8, pgc_useless: 2, ..snap() }); // 80%
+        t.end_epoch(&SystemSnapshot {
+            pgc_useful: 8,
+            pgc_useless: 2,
+            ..snap()
+        }); // 80%
         assert_eq!(t.threshold(), base - 1);
         // Falling accuracy -> more conservative (threshold back up).
-        t.end_epoch(&SystemSnapshot { pgc_useful: 6, pgc_useless: 4, ..snap() }); // 60%
+        t.end_epoch(&SystemSnapshot {
+            pgc_useful: 6,
+            pgc_useless: 4,
+            ..snap()
+        }); // 60%
         assert_eq!(t.threshold(), base);
     }
 
     #[test]
     fn ipc_drop_forces_medium() {
         let mut t = AdaptiveThreshold::default();
-        t.end_epoch(&SystemSnapshot { ipc: 2.0, pgc_useful: 10, ..Default::default() });
+        t.end_epoch(&SystemSnapshot {
+            ipc: 2.0,
+            pgc_useful: 10,
+            ..Default::default()
+        });
         assert!(t.threshold() <= -1, "good epoch stays aggressive");
         let before = t.threshold();
-        t.end_epoch(&SystemSnapshot { ipc: 0.5, pgc_useful: 10, ..Default::default() });
-        assert_eq!(t.threshold(), 6, "IPC collapse with active PGC forces t_medium");
+        t.end_epoch(&SystemSnapshot {
+            ipc: 0.5,
+            pgc_useful: 10,
+            ..Default::default()
+        });
+        assert_eq!(
+            t.threshold(),
+            6,
+            "IPC collapse with active PGC forces t_medium"
+        );
         assert!(t.threshold() > before);
     }
 

@@ -26,7 +26,12 @@ pub struct BranchPredictor {
 impl BranchPredictor {
     /// Creates a zero-initialised predictor.
     pub fn new() -> Self {
-        Self { weights: vec![[0; TABLES]; ENTRIES], predictions: 0, history: 0, mispredictions: 0 }
+        Self {
+            weights: vec![[0; TABLES]; ENTRIES],
+            predictions: 0,
+            history: 0,
+            mispredictions: 0,
+        }
     }
 
     fn indices(&self, pc: u64) -> [usize; TABLES] {
@@ -57,9 +62,13 @@ impl BranchPredictor {
         let predicted = sum >= 0;
         let mispredicted = predicted != taken;
         if mispredicted || sum.abs() < THETA {
-            for t in 0..TABLES {
-                let w = &mut self.weights[idx[t]][t];
-                *w = if taken { (*w + 1).min(WEIGHT_MAX) } else { (*w - 1).max(WEIGHT_MIN) };
+            for (t, &row) in idx.iter().enumerate() {
+                let w = &mut self.weights[row][t];
+                *w = if taken {
+                    (*w + 1).min(WEIGHT_MAX)
+                } else {
+                    (*w - 1).max(WEIGHT_MIN)
+                };
             }
         }
         if mispredicted {
@@ -95,7 +104,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong < 10, "always-taken must be learned quickly, got {wrong}");
+        assert!(
+            wrong < 10,
+            "always-taken must be learned quickly, got {wrong}"
+        );
     }
 
     #[test]
@@ -110,7 +122,10 @@ mod tests {
                 wrong_late += 1;
             }
         }
-        assert!(wrong_late < 100, "history tables should capture alternation, got {wrong_late}");
+        assert!(
+            wrong_late < 100,
+            "history tables should capture alternation, got {wrong_late}"
+        );
     }
 
     #[test]

@@ -134,7 +134,13 @@ impl<P: L1dPrefetcher> L2Prefetcher for L2Adapter<P> {
 
     fn on_access(&mut self, pc: u64, paddr: u64, hit: bool, out: &mut Vec<u64>) {
         let va = VirtAddr::new(paddr); // physical bits reinterpreted
-        let info = AccessInfo { pc, va, hit, cycle: 0, first_page_access: false };
+        let info = AccessInfo {
+            pc,
+            va,
+            hit,
+            cycle: 0,
+            first_page_access: false,
+        };
         self.buf.clear();
         self.inner.on_access(&info, &mut self.buf);
         if !hit {
@@ -285,7 +291,11 @@ impl SimulationBuilder {
 
     fn make_prefetcher(&self) -> Box<dyn L1dPrefetcher> {
         // ISO-Storage gives the prefetcher DRIPPER's budget as extra tables.
-        let mult = if self.policy == PgcPolicyKind::IsoStorage { 4 } else { 1 };
+        let mult = if self.policy == PgcPolicyKind::IsoStorage {
+            4
+        } else {
+            1
+        };
         match self.prefetcher {
             PrefetcherKind::None => Box::new(NoPrefetch),
             PrefetcherKind::NextLine => Box::new(NextLine::new(1)),
@@ -298,7 +308,10 @@ impl SimulationBuilder {
 
     fn make_policy(&self) -> Box<dyn PgcPolicy> {
         if let Some(cfg) = &self.custom_filter {
-            return Box::new(FilterPolicy::new("custom", PageCrossFilter::new(cfg.clone())));
+            return Box::new(FilterPolicy::new(
+                "custom",
+                PageCrossFilter::new(cfg.clone()),
+            ));
         }
         match self.policy {
             PgcPolicyKind::PermitPgc | PgcPolicyKind::IsoStorage => Box::new(PermitPgc),
@@ -312,7 +325,10 @@ impl SimulationBuilder {
                 let mut cfg = dripper_config(self.prefetcher.dripper_target());
                 cfg.adaptive = false;
                 cfg.static_threshold = t;
-                Box::new(FilterPolicy::new("dripper-static", PageCrossFilter::new(cfg)))
+                Box::new(FilterPolicy::new(
+                    "dripper-static",
+                    PageCrossFilter::new(cfg),
+                ))
             }
             PgcPolicyKind::Ppf => Box::new(moka_pgc::ppf()),
             PgcPolicyKind::PpfDthr => Box::new(moka_pgc::ppf_dthr()),
@@ -325,12 +341,14 @@ impl SimulationBuilder {
         match self.l2_prefetcher {
             L2PrefetcherKind::None => None,
             L2PrefetcherKind::Spp => Some(Box::new(Spp::new())),
-            L2PrefetcherKind::Ipcp => {
-                Some(Box::new(L2Adapter { inner: Ipcp::new(1), buf: Vec::new() }))
-            }
-            L2PrefetcherKind::Bop => {
-                Some(Box::new(L2Adapter { inner: Bop::new(1), buf: Vec::new() }))
-            }
+            L2PrefetcherKind::Ipcp => Some(Box::new(L2Adapter {
+                inner: Ipcp::new(1),
+                buf: Vec::new(),
+            })),
+            L2PrefetcherKind::Bop => Some(Box::new(L2Adapter {
+                inner: Bop::new(1),
+                buf: Vec::new(),
+            })),
         }
     }
 
@@ -365,8 +383,12 @@ impl SimulationBuilder {
 
     /// Runs a single workload on a single core.
     pub fn run_workload(&self, workload: &dyn TraceFactory) -> Report {
-        let mut mem =
-            MemorySystem::new(MemConfig::table_iv(1), 1, self.huge_pages.clone(), self.seed);
+        let mut mem = MemorySystem::new(
+            MemConfig::table_iv(1),
+            1,
+            self.huge_pages.clone(),
+            self.seed,
+        );
         let mut engine = self.make_engine(0);
         let mut trace = workload.build();
         for _ in 0..self.warmup {
@@ -390,8 +412,12 @@ impl SimulationBuilder {
     pub fn run_mix(&self, workloads: &[&dyn TraceFactory]) -> MixReport {
         let n = workloads.len();
         assert!(n > 0, "a mix needs at least one workload");
-        let mut mem =
-            MemorySystem::new(MemConfig::table_iv(n as u32), n, self.huge_pages.clone(), self.seed);
+        let mut mem = MemorySystem::new(
+            MemConfig::table_iv(n as u32),
+            n,
+            self.huge_pages.clone(),
+            self.seed,
+        );
         let mut engines: Vec<CoreEngine> = (0..n).map(|i| self.make_engine(i)).collect();
         let mut traces: Vec<_> = workloads.iter().map(|w| w.build()).collect();
 
@@ -426,7 +452,10 @@ impl SimulationBuilder {
 
         MixReport {
             workloads: workloads.iter().map(|w| w.name().to_string()).collect(),
-            cores: frozen.into_iter().map(|s| s.expect("all cores frozen")).collect(),
+            cores: frozen
+                .into_iter()
+                .map(|s| s.expect("all cores frozen"))
+                .collect(),
             llc: mem.llc.stats,
         }
     }

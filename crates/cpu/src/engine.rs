@@ -193,7 +193,13 @@ impl CoreEngine {
         let b = &self.epoch_base;
         let instrs = (now.instructions - b.instructions).max(1) as f64;
         let kilo = instrs / 1000.0;
-        let rate = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let rate = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
         self.snapshot = SystemSnapshot {
             l1d_mpki: (now.l1d_miss - b.l1d_miss) as f64 / kilo,
             l1d_miss_rate: rate(now.l1d_miss - b.l1d_miss, now.l1d_acc - b.l1d_acc),
@@ -202,7 +208,10 @@ impl CoreEngine {
             stlb_mpki: (now.stlb_miss - b.stlb_miss) as f64 / kilo,
             stlb_miss_rate: rate(now.stlb_miss - b.stlb_miss, now.stlb_acc - b.stlb_acc),
             l1i_mpki: (now.l1i_miss - b.l1i_miss) as f64 / kilo,
-            ipc: rate(now.instructions - b.instructions, (now.cycles - b.cycles).max(1)),
+            ipc: rate(
+                now.instructions - b.instructions,
+                (now.cycles - b.cycles).max(1),
+            ),
             rob_occupancy: self.rob.len() as f64 / self.cfg.rob_size as f64,
             inflight_l1d_misses: mem.l1d_demand_mshr_occupancy(self.core_id, self.cycle),
             pgc_useful: now.pgc_useful - b.pgc_useful,
@@ -284,7 +293,14 @@ impl CoreEngine {
         }
     }
 
-    fn demand_access(&mut self, mem: &mut MemorySystem, pc: u64, va: VirtAddr, is_store: bool, start: u64) -> u64 {
+    fn demand_access(
+        &mut self,
+        mem: &mut MemorySystem,
+        pc: u64,
+        va: VirtAddr,
+        is_store: bool,
+        start: u64,
+    ) -> u64 {
         let d = mem.demand_data(self.core_id, va, is_store, start);
 
         // Filter training events (Fig. 7).
@@ -312,8 +328,13 @@ impl CoreEngine {
         let fpa = self.touched_pages.insert(va.page_4k().raw());
 
         // Train the L1D prefetcher and collect candidates.
-        let info =
-            AccessInfo { pc, va, hit: d.l1d_hit, cycle: start, first_page_access: fpa };
+        let info = AccessInfo {
+            pc,
+            va,
+            hit: d.l1d_hit,
+            cycle: start,
+            first_page_access: fpa,
+        };
         self.cand_buf.clear();
         self.prefetcher.on_access(&info, &mut self.cand_buf);
         // The fill completion trains timeliness-aware prefetchers (Berti);
@@ -329,7 +350,11 @@ impl CoreEngine {
 
         // Histories for the feature context.
         let line = va.line().raw() as i64;
-        let delta = if self.last_line != 0 { line - self.last_line } else { 0 };
+        let delta = if self.last_line != 0 {
+            line - self.last_line
+        } else {
+            0
+        };
         self.last_line = line;
         self.va_hist = [va.raw(), self.va_hist[0], self.va_hist[1]];
         self.pc_hist = [pc, self.pc_hist[0], self.pc_hist[1]];
@@ -377,7 +402,8 @@ impl CoreEngine {
             self.fetch_ready = f.ready.saturating_sub(mem.config().l1i.latency);
             // L1I prefetching (fnl+mma, Table IV).
             self.l1i_buf.clear();
-            self.l1i_prefetcher.on_fetch(pc_line, f.l1i_hit, &mut self.l1i_buf);
+            self.l1i_prefetcher
+                .on_fetch(pc_line, f.l1i_hit, &mut self.l1i_buf);
             let targets = std::mem::take(&mut self.l1i_buf);
             for t in &targets {
                 mem.issue_l1i_prefetch(self.core_id, VirtAddr::new(t << 6), self.cycle);
@@ -403,7 +429,10 @@ impl CoreEngine {
                 }
                 done
             }
-            Op::Load { va, depends_on_prev } => {
+            Op::Load {
+                va,
+                depends_on_prev,
+            } => {
                 self.stats.loads += 1;
                 let start = if depends_on_prev {
                     dispatch.max(self.prev_load_completion)

@@ -44,7 +44,10 @@ mod tests {
                     },
                 }
             } else {
-                Instr { pc: 0x40_0100 + (self.i % 8) * 4, op: Op::Alu }
+                Instr {
+                    pc: 0x40_0100 + (self.i % 8) * 4,
+                    op: Op::Alu,
+                }
             }
         }
     }
@@ -71,7 +74,9 @@ mod tests {
 
     #[test]
     fn prefetching_reduces_l1d_mpki_on_stream() {
-        let none = base().prefetcher(PrefetcherKind::None).run_workload(&Stream);
+        let none = base()
+            .prefetcher(PrefetcherKind::None)
+            .run_workload(&Stream);
         let berti = base()
             .prefetcher(PrefetcherKind::Berti)
             .pgc_policy(PgcPolicyKind::PermitPgc)
@@ -86,36 +91,55 @@ mod tests {
 
     #[test]
     fn permit_pgc_issues_page_cross_prefetches_on_stream() {
-        let r = base().pgc_policy(PgcPolicyKind::PermitPgc).run_workload(&Stream);
-        assert!(r.prefetch.pgc_candidates > 0, "stream must generate PGC candidates");
+        let r = base()
+            .pgc_policy(PgcPolicyKind::PermitPgc)
+            .run_workload(&Stream);
+        assert!(
+            r.prefetch.pgc_candidates > 0,
+            "stream must generate PGC candidates"
+        );
         assert!(r.prefetch.pgc_issued > 0);
         assert_eq!(r.prefetch.pgc_discarded, 0, "permit never discards");
     }
 
     #[test]
     fn discard_pgc_never_issues() {
-        let r = base().pgc_policy(PgcPolicyKind::DiscardPgc).run_workload(&Stream);
+        let r = base()
+            .pgc_policy(PgcPolicyKind::DiscardPgc)
+            .run_workload(&Stream);
         assert!(r.prefetch.pgc_candidates > 0);
         assert_eq!(r.prefetch.pgc_issued, 0);
         assert_eq!(r.prefetch.speculative_walks, 0);
-        assert_eq!(r.l1d.pgc_fills, 0, "no PCB blocks without page-cross prefetches");
+        assert_eq!(
+            r.l1d.pgc_fills, 0,
+            "no PCB blocks without page-cross prefetches"
+        );
     }
 
     #[test]
     fn discard_ptw_never_walks() {
-        let r = base().pgc_policy(PgcPolicyKind::DiscardPtw).run_workload(&Stream);
+        let r = base()
+            .pgc_policy(PgcPolicyKind::DiscardPtw)
+            .run_workload(&Stream);
         assert_eq!(r.prefetch.speculative_walks, 0);
         assert_eq!(r.walks.prefetch_walks, 0);
     }
 
     #[test]
     fn dripper_sits_between_permit_and_discard_in_issue_volume() {
-        let permit = base().pgc_policy(PgcPolicyKind::PermitPgc).run_workload(&Stream);
-        let dripper = base().pgc_policy(PgcPolicyKind::Dripper).run_workload(&Stream);
+        let permit = base()
+            .pgc_policy(PgcPolicyKind::PermitPgc)
+            .run_workload(&Stream);
+        let dripper = base()
+            .pgc_policy(PgcPolicyKind::Dripper)
+            .run_workload(&Stream);
         assert!(dripper.prefetch.pgc_issued <= permit.prefetch.pgc_issued);
         // On a perfectly regular stream DRIPPER learns that page-cross
         // prefetches are useful and issues them.
-        assert!(dripper.prefetch.pgc_issued > 0, "dripper should learn to issue on a stream");
+        assert!(
+            dripper.prefetch.pgc_issued > 0,
+            "dripper should learn to issue on a stream"
+        );
     }
 
     #[test]

@@ -130,16 +130,19 @@ impl MixReport {
     /// Weighted speedup vs per-core isolation IPCs (§IV-A2):
     /// `Σ IPC_multicore / IPC_isolation`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `isolation` length mismatches the core count.
-    pub fn weighted_ipc(&self, isolation: &[f64]) -> f64 {
-        assert_eq!(isolation.len(), self.cores.len(), "one isolation IPC per core");
-        self.cores
-            .iter()
-            .zip(isolation)
-            .map(|(c, &iso)| if iso > 0.0 { c.ipc() / iso } else { 0.0 })
-            .sum()
+    /// Returns `None` when `isolation` does not carry exactly one IPC per
+    /// core — a mismatched baseline would silently mis-weight the sum.
+    pub fn weighted_ipc(&self, isolation: &[f64]) -> Option<f64> {
+        if isolation.len() != self.cores.len() {
+            return None;
+        }
+        Some(
+            self.cores
+                .iter()
+                .zip(isolation)
+                .map(|(c, &iso)| if iso > 0.0 { c.ipc() / iso } else { 0.0 })
+                .sum(),
+        )
     }
 }
 
@@ -168,17 +171,28 @@ mod tests {
     fn weighted_ipc_sums_relative_progress() {
         let mut m = MixReport::default();
         m.cores = vec![
-            CoreStats { instructions: 100, cycles: 100, ..Default::default() }, // IPC 1.0
-            CoreStats { instructions: 100, cycles: 200, ..Default::default() }, // IPC 0.5
+            CoreStats {
+                instructions: 100,
+                cycles: 100,
+                ..Default::default()
+            }, // IPC 1.0
+            CoreStats {
+                instructions: 100,
+                cycles: 200,
+                ..Default::default()
+            }, // IPC 0.5
         ];
-        let w = m.weighted_ipc(&[2.0, 1.0]);
+        let w = m.weighted_ipc(&[2.0, 1.0]).expect("matching lengths");
         assert!((w - 1.0).abs() < 1e-12, "0.5 + 0.5");
     }
 
     #[test]
-    #[should_panic(expected = "one isolation IPC per core")]
-    fn weighted_ipc_length_checked() {
-        let m = MixReport { cores: vec![CoreStats::default()], ..Default::default() };
-        m.weighted_ipc(&[]);
+    fn weighted_ipc_length_mismatch_is_none() {
+        let m = MixReport {
+            cores: vec![CoreStats::default()],
+            ..Default::default()
+        };
+        assert_eq!(m.weighted_ipc(&[]), None);
+        assert_eq!(m.weighted_ipc(&[1.0, 1.0]), None);
     }
 }

@@ -77,7 +77,10 @@ mod tests {
         let mut i = 0u64;
         let mut t = FnTrace(move || {
             i += 1;
-            Instr { pc: 0x400000 + i * 4, op: Op::Alu }
+            Instr {
+                pc: 0x400000 + i * 4,
+                op: Op::Alu,
+            }
         });
         let a = t.next_instr();
         let b = t.next_instr();

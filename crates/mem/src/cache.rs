@@ -50,8 +50,15 @@ struct Block {
 }
 
 impl Block {
-    const INVALID: Block =
-        Block { tag: 0, valid: false, dirty: false, prefetched: false, pcb: false, hits: 0, lru: 0 };
+    const INVALID: Block = Block {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        prefetched: false,
+        pcb: false,
+        hits: 0,
+        lru: 0,
+    };
 }
 
 /// Description of a block evicted by a fill, delivered to the caller so
@@ -103,7 +110,10 @@ impl Cache {
     /// Panics if the configured set count is not a power of two or is zero.
     pub fn new(name: &'static str, cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
-        assert!(sets > 0 && sets.is_power_of_two(), "{name}: set count must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "{name}: set count must be a power of two"
+        );
         Self {
             name,
             sets,
@@ -144,7 +154,9 @@ impl Cache {
     /// Checks presence without updating LRU or statistics.
     pub fn probe(&self, line: LineAddr) -> bool {
         let tag = Self::tag(line);
-        self.blocks[self.set_range(line)].iter().any(|b| b.valid && b.tag == tag)
+        self.blocks[self.set_range(line)]
+            .iter()
+            .any(|b| b.valid && b.tag == tag)
     }
 
     /// Performs a demand lookup, updating LRU, hit counters, and statistics.
@@ -168,17 +180,45 @@ impl Cache {
                         self.stats.pgc_useful += 1;
                     }
                 }
-                return Lookup { hit: true, first_hit_on_prefetch: first, pcb: b.pcb };
+                return Lookup {
+                    hit: true,
+                    first_hit_on_prefetch: first,
+                    pcb: b.pcb,
+                };
             }
         }
         self.stats.demand_misses += 1;
-        Lookup { hit: false, first_hit_on_prefetch: false, pcb: false }
+        Lookup {
+            hit: false,
+            first_hit_on_prefetch: false,
+            pcb: false,
+        }
     }
 
     /// Touches a line on behalf of a prefetch probe (no demand statistics,
     /// no LRU update). Returns presence.
     pub fn prefetch_probe(&self, line: LineAddr) -> bool {
         self.probe(line)
+    }
+
+    /// Performs a prefetch lookup: counted under the prefetch statistics
+    /// (never demand), refreshing LRU on a hit so prefetch traffic keeps
+    /// resident lines warm. Misses are left for the owner to fill (or not);
+    /// a prefetch probe is not a demand hit, so the block's usefulness
+    /// counter is untouched.
+    pub fn prefetch_access(&mut self, line: LineAddr) -> bool {
+        self.stats.prefetch_accesses += 1;
+        let tag = Self::tag(line);
+        let range = self.set_range(line);
+        for b in &mut self.blocks[range] {
+            if b.valid && b.tag == tag {
+                self.tick += 1;
+                b.lru = self.tick;
+                self.stats.prefetch_hits += 1;
+                return true;
+            }
+        }
+        false
     }
 
     /// Installs a line, evicting the LRU victim if the set is full.
@@ -198,7 +238,10 @@ impl Cache {
         let range = self.set_range(line);
 
         // Already resident: refresh.
-        if let Some(b) = self.blocks[range.clone()].iter_mut().find(|b| b.valid && b.tag == tag) {
+        if let Some(b) = self.blocks[range.clone()]
+            .iter_mut()
+            .find(|b| b.valid && b.tag == tag)
+        {
             b.lru = tick;
             b.dirty |= dirty;
             return None;
@@ -285,7 +328,12 @@ mod tests {
         // 4 sets x 2 ways of 64B lines = 512B.
         Cache::new(
             "tiny",
-            CacheConfig { size_bytes: 512, ways: 2, latency: 1, mshr_entries: 4 },
+            CacheConfig {
+                size_bytes: 512,
+                ways: 2,
+                latency: 1,
+                mshr_entries: 4,
+            },
         )
     }
 
@@ -397,11 +445,61 @@ mod tests {
     }
 
     #[test]
+    fn prefetch_access_keeps_demand_counters_disjoint() {
+        let mut c = tiny();
+        c.fill(line(5), FillKind::Demand, false);
+        assert!(c.prefetch_access(line(5)));
+        assert!(!c.prefetch_access(line(6)));
+        // Prefetch traffic lands only in the prefetch counters...
+        assert_eq!(c.stats.prefetch_accesses, 2);
+        assert_eq!(c.stats.prefetch_hits, 1);
+        assert_eq!(c.stats.demand_accesses, 0);
+        assert_eq!(c.stats.demand_misses, 0);
+        // ...and demand traffic only in the demand counters.
+        c.demand_access(line(5), false);
+        c.demand_access(line(6), false);
+        assert_eq!(c.stats.demand_accesses, 2);
+        assert_eq!(c.stats.demand_misses, 1);
+        assert_eq!(c.stats.prefetch_accesses, 2);
+        assert_eq!(c.stats.prefetch_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_access_refreshes_lru() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0.
+        c.fill(line(0), FillKind::Demand, false);
+        c.fill(line(4), FillKind::Demand, false);
+        // A prefetch hit on line 0 makes line 4 the LRU victim.
+        assert!(c.prefetch_access(line(0)));
+        let ev = c.fill(line(8), FillKind::Demand, false).expect("eviction");
+        assert_eq!(ev.line, line(4));
+        assert!(c.probe(line(0)));
+    }
+
+    #[test]
+    fn prefetch_access_does_not_promote_usefulness() {
+        let mut c = tiny();
+        c.fill(line(9), FillKind::PrefetchPageCross, false);
+        assert!(c.prefetch_access(line(9)));
+        // A prefetch probe is not a demand hit: no usefulness promotion.
+        assert_eq!(c.stats.prefetch_useful, 0);
+        let first = c.demand_access(line(9), false);
+        assert!(first.first_hit_on_prefetch);
+        assert_eq!(c.stats.prefetch_useful, 1);
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_non_pow2_sets() {
         let _ = Cache::new(
             "bad",
-            CacheConfig { size_bytes: 3 * 64, ways: 1, latency: 1, mshr_entries: 1 },
+            CacheConfig {
+                size_bytes: 3 * 64,
+                ways: 1,
+                latency: 1,
+                mshr_entries: 1,
+            },
         );
     }
 }

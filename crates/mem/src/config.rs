@@ -97,19 +97,51 @@ impl MemConfig {
     /// to 2 MB per core and DRAM capacity to 4 GB (1-core) / 16 GB (8-core).
     pub fn table_iv(n_cores: u32) -> Self {
         Self {
-            l1i: CacheConfig { size_bytes: 32 << 10, ways: 8, latency: 4, mshr_entries: 8 },
-            l1d: CacheConfig { size_bytes: 48 << 10, ways: 12, latency: 5, mshr_entries: 16 },
-            l2c: CacheConfig { size_bytes: 512 << 10, ways: 8, latency: 10, mshr_entries: 32 },
+            l1i: CacheConfig {
+                size_bytes: 32 << 10,
+                ways: 8,
+                latency: 4,
+                mshr_entries: 8,
+            },
+            l1d: CacheConfig {
+                size_bytes: 48 << 10,
+                ways: 12,
+                latency: 5,
+                mshr_entries: 16,
+            },
+            l2c: CacheConfig {
+                size_bytes: 512 << 10,
+                ways: 8,
+                latency: 10,
+                mshr_entries: 32,
+            },
             llc: CacheConfig {
                 size_bytes: (2u64 << 20) * n_cores as u64,
                 ways: 16,
                 latency: 20,
                 mshr_entries: 64,
             },
-            dtlb: TlbConfig { entries: 64, ways: 4, latency: 1 },
-            itlb: TlbConfig { entries: 64, ways: 4, latency: 1 },
-            stlb: TlbConfig { entries: 1536, ways: 12, latency: 8 },
-            psc: PscConfig { l5_entries: 1, l4_entries: 2, l3_entries: 8, l2_entries: 32 },
+            dtlb: TlbConfig {
+                entries: 64,
+                ways: 4,
+                latency: 1,
+            },
+            itlb: TlbConfig {
+                entries: 64,
+                ways: 4,
+                latency: 1,
+            },
+            stlb: TlbConfig {
+                entries: 1536,
+                ways: 12,
+                latency: 8,
+            },
+            psc: PscConfig {
+                l5_entries: 1,
+                l4_entries: 2,
+                l3_entries: 8,
+                l2_entries: 32,
+            },
             dram: DramConfig {
                 latency: 160,
                 cycles_per_transfer: 10,

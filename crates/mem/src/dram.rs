@@ -103,7 +103,11 @@ mod tests {
     fn channel_frees_over_time() {
         let mut d = dram();
         d.access(LineAddr(1), 0);
-        assert_eq!(d.access(LineAddr(2), 500), 600, "idle again after the burst");
+        assert_eq!(
+            d.access(LineAddr(2), 500),
+            600,
+            "idle again after the burst"
+        );
     }
 
     #[test]

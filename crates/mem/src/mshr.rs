@@ -51,7 +51,11 @@ impl Mshr {
     /// Looks up an in-flight miss for `line`; returns its completion cycle.
     pub fn lookup(&mut self, line: LineAddr, now: u64) -> Option<u64> {
         self.expire(now);
-        let hit = self.entries.iter().find(|e| e.line == line).map(|e| e.completes_at);
+        let hit = self
+            .entries
+            .iter()
+            .find(|e| e.line == line)
+            .map(|e| e.completes_at);
         if hit.is_some() {
             self.merges += 1;
         }
@@ -85,11 +89,19 @@ impl Mshr {
             self.full_stalls += 1;
             let delayed = completes_at + Self::FULL_PENALTY;
             if let Some(slot) = self.entries.iter_mut().min_by_key(|e| e.completes_at) {
-                *slot = Entry { line, completes_at: delayed, demand };
+                *slot = Entry {
+                    line,
+                    completes_at: delayed,
+                    demand,
+                };
             }
             return delayed;
         }
-        self.entries.push(Entry { line, completes_at, demand });
+        self.entries.push(Entry {
+            line,
+            completes_at,
+            demand,
+        });
         completes_at
     }
 
@@ -144,7 +156,11 @@ mod tests {
         m.allocate(line(1), 0, 50);
         m.allocate(line(2), 0, 80);
         let done = m.allocate(line(3), 0, 200);
-        assert_eq!(done, 200 + Mshr::FULL_PENALTY, "full MSHR adds the retry penalty");
+        assert_eq!(
+            done,
+            200 + Mshr::FULL_PENALTY,
+            "full MSHR adds the retry penalty"
+        );
         assert_eq!(m.full_stalls, 1);
     }
 

@@ -140,7 +140,10 @@ impl PageWalker {
     }
 
     fn node_frame(&mut self, level: u8, prefix: u64, frames: &mut FrameAllocator) -> u64 {
-        *self.nodes.entry((level, prefix)).or_insert_with(|| frames.alloc_pt_node())
+        *self
+            .nodes
+            .entry((level, prefix))
+            .or_insert_with(|| frames.alloc_pt_node())
     }
 
     fn pte_addr(frame: u64, index: u64) -> PhysAddr {
@@ -154,12 +157,7 @@ impl PageWalker {
     /// first touch, so a speculative prefetch walk also materialises the
     /// mapping — the simulator equivalent of the OS having pre-populated the
     /// page table).
-    pub fn walk(
-        &mut self,
-        va: VirtAddr,
-        vmem: &mut Vmem,
-        frames: &mut FrameAllocator,
-    ) -> WalkPlan {
+    pub fn walk(&mut self, va: VirtAddr, vmem: &mut Vmem, frames: &mut FrameAllocator) -> WalkPlan {
         let translation = vmem.translate(va, frames);
         let is_huge = translation.size == PageSize::Huge2M;
 
@@ -221,7 +219,11 @@ impl PageWalker {
             self.psc_l2.fill(p2);
         }
 
-        WalkPlan { refs, translation, levels_skipped: skipped }
+        WalkPlan {
+            refs,
+            translation,
+            levels_skipped: skipped,
+        }
     }
 
     /// Total PSC hits across all levels (diagnostics).
@@ -238,7 +240,12 @@ mod tests {
     fn setup() -> (PageWalker, Vmem, FrameAllocator) {
         let mut fa = FrameAllocator::new(4u64 << 30, 7);
         let w = PageWalker::new(
-            PscConfig { l5_entries: 1, l4_entries: 2, l3_entries: 8, l2_entries: 32 },
+            PscConfig {
+                l5_entries: 1,
+                l4_entries: 2,
+                l3_entries: 8,
+                l2_entries: 32,
+            },
             &mut fa,
         );
         (w, Vmem::new(HugePagePolicy::None, 9), fa)
@@ -260,7 +267,11 @@ mod tests {
         let b = VirtAddr::new(0x7000_2000); // same PT node (same 2MB region)
         w.walk(a, &mut vm, &mut fa);
         let plan = w.walk(b, &mut vm, &mut fa);
-        assert_eq!(plan.refs.len(), 1, "PSC-L2 hit leaves only the PT reference");
+        assert_eq!(
+            plan.refs.len(),
+            1,
+            "PSC-L2 hit leaves only the PT reference"
+        );
         assert_eq!(plan.levels_skipped, 4);
     }
 
@@ -288,7 +299,12 @@ mod tests {
     fn huge_page_walk_terminates_at_pd() {
         let mut fa = FrameAllocator::new(4u64 << 30, 7);
         let mut w = PageWalker::new(
-            PscConfig { l5_entries: 1, l4_entries: 2, l3_entries: 8, l2_entries: 32 },
+            PscConfig {
+                l5_entries: 1,
+                l4_entries: 2,
+                l3_entries: 8,
+                l2_entries: 32,
+            },
             &mut fa,
         );
         let mut vm = Vmem::new(HugePagePolicy::All, 9);
@@ -311,7 +327,9 @@ mod tests {
 
     #[test]
     fn level_indices() {
-        let va = VirtAddr::new((3u64 << 48) | (5u64 << 39) | (7u64 << 30) | (9u64 << 21) | (11u64 << 12));
+        let va = VirtAddr::new(
+            (3u64 << 48) | (5u64 << 39) | (7u64 << 30) | (9u64 << 21) | (11u64 << 12),
+        );
         assert_eq!(Level::L5.index(va), 3);
         assert_eq!(Level::L4.index(va), 5);
         assert_eq!(Level::L3.index(va), 7);

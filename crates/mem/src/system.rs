@@ -15,9 +15,7 @@ use crate::mshr::Mshr;
 use crate::page_table::PageWalker;
 use crate::tlb::{Tlb, Translation};
 use crate::vmem::{FrameAllocator, HugePagePolicy, Vmem};
-use pagecross_types::{
-    LineAddr, PageSize, PhysAddr, TranslationOutcome, VirtAddr, WalkStats,
-};
+use pagecross_types::{LineAddr, PageSize, PhysAddr, TranslationOutcome, VirtAddr, WalkStats};
 
 /// Traffic class of a request walking the hierarchy; decides which
 /// statistics the request perturbs.
@@ -202,15 +200,8 @@ impl MemorySystem {
         let llc_lat = self.cfg.llc.latency;
         let hit = match traffic {
             Traffic::Demand { .. } | Traffic::Fetch => self.llc.demand_access(line, false).hit,
-            _ => {
-                let hit = self.llc.probe(line);
-                if hit {
-                    // Keep LRU warm for non-demand traffic too.
-                    self.llc.demand_access(line, false);
-                    self.llc.stats.demand_accesses -= 1;
-                }
-                hit
-            }
+            // Prefetch traffic keeps LRU warm without touching demand stats.
+            _ => self.llc.prefetch_access(line),
         };
         if hit {
             return cycle + llc_lat;
@@ -237,14 +228,8 @@ impl MemorySystem {
             let c = &mut self.cores[core];
             match traffic {
                 Traffic::Demand { .. } | Traffic::Fetch => c.l2c.demand_access(line, false).hit,
-                _ => {
-                    let hit = c.l2c.probe(line);
-                    if hit {
-                        c.l2c.demand_access(line, false);
-                        c.l2c.stats.demand_accesses -= 1;
-                    }
-                    hit
-                }
+                // Prefetch traffic keeps LRU warm without touching demand stats.
+                _ => c.l2c.prefetch_access(line),
             }
         };
         if hit {
@@ -291,7 +276,13 @@ impl MemorySystem {
 
     /// Performs a page walk starting at `cycle`, charging PSC latency plus
     /// one pointer-chased cache access per remaining level. Fills both TLBs.
-    fn do_walk(&mut self, core: usize, va: VirtAddr, cycle: u64, speculative: bool) -> (Translation, u64) {
+    fn do_walk(
+        &mut self,
+        core: usize,
+        va: VirtAddr,
+        cycle: u64,
+        speculative: bool,
+    ) -> (Translation, u64) {
         let plan = {
             let c = &mut self.cores[core];
             // Split borrows inside one core are fine.
@@ -328,7 +319,9 @@ impl MemorySystem {
             return cycle + l1d_lat;
         }
         let below = self.fetch_from_l2(core, line, cycle + l1d_lat, Traffic::Walk);
-        let ready = self.cores[core].mshr_l1d.allocate_kind(line, cycle, below, false);
+        let ready = self.cores[core]
+            .mshr_l1d
+            .allocate_kind(line, cycle, below, false);
         // PTE lines fill the L1D (walker goes through L1D, like ChampSim);
         // this is part of the pollution cost of speculative walks.
         self.cores[core].l1d.fill(line, FillKind::Demand, false);
@@ -394,8 +387,7 @@ impl MemorySystem {
             };
         }
         let l2_hit_probe = self.cores[core].l2c.probe(line);
-        let below =
-            self.fetch_from_l2(core, line, start + l1d_lat, Traffic::Demand { is_store });
+        let below = self.fetch_from_l2(core, line, start + l1d_lat, Traffic::Demand { is_store });
         let ready = self.cores[core].mshr_l1d.allocate(line, start, below);
         let eviction = self.cores[core].l1d.fill(line, FillKind::Demand, is_store);
         DemandDataResult {
@@ -436,15 +428,24 @@ impl MemorySystem {
         if lookup.hit {
             let inflight = self.cores[core].mshr_l1i.lookup(line, start);
             let ready = inflight.map_or(start + l1i_lat, |t| t.max(start + l1i_lat));
-            return FetchResult { ready, l1i_hit: true };
+            return FetchResult {
+                ready,
+                l1i_hit: true,
+            };
         }
         if let Some(t) = self.cores[core].mshr_l1i.lookup(line, start) {
-            return FetchResult { ready: t.max(start + l1i_lat), l1i_hit: false };
+            return FetchResult {
+                ready: t.max(start + l1i_lat),
+                l1i_hit: false,
+            };
         }
         let below = self.fetch_from_l2(core, line, start + l1i_lat, Traffic::Fetch);
         let ready = self.cores[core].mshr_l1i.allocate(line, start, below);
         self.cores[core].l1i.fill(line, FillKind::Demand, false);
-        FetchResult { ready, l1i_hit: lookup.hit }
+        FetchResult {
+            ready,
+            l1i_hit: lookup.hit,
+        }
     }
 
     /// Probes the TLB hierarchy for a prefetch target without side effects
@@ -485,7 +486,11 @@ impl MemorySystem {
                 self.cores[core].dtlb.prefetch_probe(va);
                 let t = self.cores[core].stlb.prefetch_probe(va).expect("peeked");
                 self.cores[core].dtlb.fill(t, true);
-                (t, cycle + self.cfg.dtlb.latency + self.cfg.stlb.latency, false)
+                (
+                    t,
+                    cycle + self.cfg.dtlb.latency + self.cfg.stlb.latency,
+                    false,
+                )
             }
             TranslationOutcome::RequiresWalk => {
                 self.cores[core].dtlb.prefetch_probe(va);
@@ -520,8 +525,14 @@ impl MemorySystem {
             };
         }
         let below = self.fetch_from_l2(core, line, t_ready, Traffic::PrefetchL1 { page_cross });
-        self.cores[core].mshr_l1d.allocate_kind(line, t_ready, below, false);
-        let kind = if page_cross { FillKind::PrefetchPageCross } else { FillKind::PrefetchInPage };
+        self.cores[core]
+            .mshr_l1d
+            .allocate_kind(line, t_ready, below, false);
+        let kind = if page_cross {
+            FillKind::PrefetchPageCross
+        } else {
+            FillKind::PrefetchInPage
+        };
         let eviction = self.cores[core].l1d.fill(line, kind, false);
         PrefetchIssueResult {
             issued: true,
@@ -553,10 +564,18 @@ impl MemorySystem {
         {
             return false;
         }
-        let below =
-            self.fetch_from_l2(core, line, cycle + self.cfg.l1i.latency, Traffic::PrefetchL2);
-        self.cores[core].mshr_l1i.allocate_kind(line, cycle, below, false);
-        self.cores[core].l1i.fill(line, FillKind::PrefetchInPage, false);
+        let below = self.fetch_from_l2(
+            core,
+            line,
+            cycle + self.cfg.l1i.latency,
+            Traffic::PrefetchL2,
+        );
+        self.cores[core]
+            .mshr_l1i
+            .allocate_kind(line, cycle, below, false);
+        self.cores[core]
+            .l1i
+            .fill(line, FillKind::PrefetchInPage, false);
         true
     }
 
@@ -571,7 +590,9 @@ impl MemorySystem {
         }
         let below = self.fetch_from_llc(line, cycle + self.cfg.l2c.latency, Traffic::PrefetchL2);
         self.cores[core].mshr_l2c.allocate(line, cycle, below);
-        self.cores[core].l2c.fill(line, FillKind::PrefetchInPage, false);
+        self.cores[core]
+            .l2c
+            .fill(line, FillKind::PrefetchInPage, false);
         true
     }
 
@@ -627,7 +648,11 @@ mod tests {
         let r = m.demand_data(0, va, false, 10_000);
         assert!(r.l1d_hit);
         assert!(r.dtlb_hit);
-        assert_eq!(r.ready, 10_000 + 5, "dTLB-parallel L1D hit takes L1D latency");
+        assert_eq!(
+            r.ready,
+            10_000 + 5,
+            "dTLB-parallel L1D hit takes L1D latency"
+        );
     }
 
     #[test]
@@ -650,8 +675,14 @@ mod tests {
         let a = m.demand_data(0, va2, false, 1_000);
         let b = m.demand_data(0, va2.offset(8), false, 1_001);
         assert!(!a.l1d_hit, "first access misses");
-        assert!(b.ready >= a.ready, "second access cannot complete before the fill");
-        assert!(b.ready <= a.ready + 6, "second access merges into the first's MSHR");
+        assert!(
+            b.ready >= a.ready,
+            "second access cannot complete before the fill"
+        );
+        assert!(
+            b.ready <= a.ready + 6,
+            "second access merges into the first's MSHR"
+        );
     }
 
     #[test]
@@ -675,7 +706,10 @@ mod tests {
         let trig = VirtAddr::new(0x4000_0FC0); // last line of its page
         m.demand_data(0, trig, false, 0);
         let tgt = trig.offset(64); // next page, cold TLB
-        assert_eq!(m.probe_translation(0, tgt), TranslationOutcome::RequiresWalk);
+        assert_eq!(
+            m.probe_translation(0, tgt),
+            TranslationOutcome::RequiresWalk
+        );
         let r = m.issue_prefetch(0, tgt, true, 1_000, true);
         assert!(r.issued && r.walked);
         assert_eq!(m.core(0).walk_stats.prefetch_walks, 1);
@@ -761,6 +795,44 @@ mod tests {
         assert!(m.core(0).l2c.probe(pa_next.line()));
         assert!(!m.core(0).l1d.probe(pa_next.line()));
         assert!(!m.issue_l2_prefetch(0, pa_next, 2_000), "now redundant");
+    }
+
+    #[test]
+    fn prefetch_traffic_never_lands_in_demand_counters() {
+        let mut m = sys();
+        let trig = VirtAddr::new(0xB000_0000);
+        m.demand_data(0, trig, false, 0);
+        let (l2_da, l2_dm) = {
+            let s = &m.core(0).l2c.stats;
+            (s.demand_accesses, s.demand_misses)
+        };
+        let (llc_da, llc_dm) = (m.llc.stats.demand_accesses, m.llc.stats.demand_misses);
+        // L1 prefetches probe L2C and LLC on their way down; none of that
+        // may count as demand traffic.
+        for i in 1..=4u64 {
+            m.issue_prefetch(
+                0,
+                VirtAddr::new(0xB000_0000 + i * 64),
+                false,
+                i * 1_000,
+                i % 2 == 0,
+            );
+        }
+        let l2 = &m.core(0).l2c.stats;
+        assert_eq!(
+            l2.demand_accesses, l2_da,
+            "L2C demand accesses moved on prefetch traffic"
+        );
+        assert_eq!(
+            l2.demand_misses, l2_dm,
+            "L2C demand misses moved on prefetch traffic"
+        );
+        assert_eq!(m.llc.stats.demand_accesses, llc_da);
+        assert_eq!(m.llc.stats.demand_misses, llc_dm);
+        assert!(
+            l2.prefetch_accesses > 0,
+            "prefetch probes must be visible in the prefetch counters"
+        );
     }
 
     #[test]

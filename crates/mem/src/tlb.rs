@@ -30,7 +30,11 @@ impl Translation {
     /// Panics (debug) if `va` does not lie on this page.
     pub fn apply(&self, va: VirtAddr) -> u64 {
         let shift = self.size.shift();
-        debug_assert_eq!(va.raw() >> shift, self.vpn, "address not covered by translation");
+        debug_assert_eq!(
+            va.raw() >> shift,
+            self.vpn,
+            "address not covered by translation"
+        );
         (self.pfn << shift) | (va.raw() & (self.size.bytes() - 1))
     }
 }
@@ -44,8 +48,13 @@ struct TlbEntry {
     lru: u64,
 }
 
-const INVALID_ENTRY: TlbEntry =
-    TlbEntry { valid: false, vpn: 0, pfn: 0, size: PageSize::Base4K, lru: 0 };
+const INVALID_ENTRY: TlbEntry = TlbEntry {
+    valid: false,
+    vpn: 0,
+    pfn: 0,
+    size: PageSize::Base4K,
+    lru: 0,
+};
 
 /// A set-associative, page-size-aware TLB.
 #[derive(Clone, Debug)]
@@ -67,7 +76,10 @@ impl Tlb {
     /// Panics if the configured set count is not a power of two.
     pub fn new(name: &'static str, cfg: TlbConfig) -> Self {
         let sets = cfg.sets() as u64;
-        assert!(sets > 0 && sets.is_power_of_two(), "{name}: TLB sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "{name}: TLB sets must be a power of two"
+        );
         Self {
             name,
             sets,
@@ -100,7 +112,11 @@ impl Tlb {
                     if touch {
                         e.lru = tick;
                     }
-                    return Some(Translation { vpn: e.vpn, pfn: e.pfn, size: e.size });
+                    return Some(Translation {
+                        vpn: e.vpn,
+                        pfn: e.pfn,
+                        size: e.size,
+                    });
                 }
             }
         }
@@ -133,7 +149,10 @@ impl Tlb {
         for size in [PageSize::Base4K, PageSize::Huge2M] {
             let vpn = va.raw() >> size.shift();
             let range = self.set_range(vpn);
-            if self.entries[range].iter().any(|e| e.valid && e.size == size && e.vpn == vpn) {
+            if self.entries[range]
+                .iter()
+                .any(|e| e.valid && e.size == size && e.vpn == vpn)
+            {
                 return true;
             }
         }
@@ -161,9 +180,18 @@ impl Tlb {
         let slot = if let Some(free) = self.entries[range.clone()].iter_mut().find(|e| !e.valid) {
             free
         } else {
-            self.entries[range].iter_mut().min_by_key(|e| e.lru).expect("nonempty set")
+            self.entries[range]
+                .iter_mut()
+                .min_by_key(|e| e.lru)
+                .expect("nonempty set")
         };
-        *slot = TlbEntry { valid: true, vpn: t.vpn, pfn: t.pfn, size: t.size, lru: tick };
+        *slot = TlbEntry {
+            valid: true,
+            vpn: t.vpn,
+            pfn: t.pfn,
+            size: t.size,
+            lru: tick,
+        };
     }
 
     /// Number of valid entries.
@@ -177,11 +205,22 @@ mod tests {
     use super::*;
 
     fn tiny() -> Tlb {
-        Tlb::new("tiny", TlbConfig { entries: 8, ways: 2, latency: 1 })
+        Tlb::new(
+            "tiny",
+            TlbConfig {
+                entries: 8,
+                ways: 2,
+                latency: 1,
+            },
+        )
     }
 
     fn map4k(vpn: u64, pfn: u64) -> Translation {
-        Translation { vpn, pfn, size: PageSize::Base4K }
+        Translation {
+            vpn,
+            pfn,
+            size: PageSize::Base4K,
+        }
     }
 
     #[test]
@@ -204,7 +243,11 @@ mod tests {
 
     #[test]
     fn translation_apply_2m() {
-        let tr = Translation { vpn: 3, pfn: 7, size: PageSize::Huge2M };
+        let tr = Translation {
+            vpn: 3,
+            pfn: 7,
+            size: PageSize::Huge2M,
+        };
         let va = VirtAddr::new((3 << 21) | 0x12345);
         assert_eq!(tr.apply(va), (7 << 21) | 0x12345);
     }
@@ -212,7 +255,14 @@ mod tests {
     #[test]
     fn huge_page_hit() {
         let mut t = tiny();
-        t.fill(Translation { vpn: 2, pfn: 11, size: PageSize::Huge2M }, false);
+        t.fill(
+            Translation {
+                vpn: 2,
+                pfn: 11,
+                size: PageSize::Huge2M,
+            },
+            false,
+        );
         // Any 4K page inside huge page 2 must hit.
         let va = VirtAddr::new((2u64 << 21) + 0x3000);
         let tr = t.lookup(va).unwrap();
@@ -223,7 +273,7 @@ mod tests {
     #[test]
     fn lru_replacement_within_set() {
         let mut t = tiny(); // 4 sets x 2 ways
-        // VPNs 0, 4, 8 share set 0.
+                            // VPNs 0, 4, 8 share set 0.
         t.fill(map4k(0, 1), false);
         t.fill(map4k(4, 2), false);
         t.lookup(VirtAddr::new(0)); // touch vpn 0 -> vpn 4 is LRU

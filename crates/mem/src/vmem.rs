@@ -96,7 +96,10 @@ impl FrameAllocator {
     ///
     /// Panics if the huge-frame region is exhausted.
     pub fn alloc_2m(&mut self) -> u64 {
-        assert!((self.used_2m.len() as u64) < self.huge_frames, "out of 2MB physical frames");
+        assert!(
+            (self.used_2m.len() as u64) < self.huge_frames,
+            "out of 2MB physical frames"
+        );
         let base_2m = self.huge_region_base >> (HUGE_PAGE_SHIFT_2M - PAGE_SHIFT_4K);
         loop {
             let pfn2m = base_2m + self.rng.below(self.huge_frames);
@@ -155,20 +158,18 @@ impl Vmem {
             HugePagePolicy::All => true,
             HugePagePolicy::Fraction(p) => {
                 let rng = &mut self.rng;
-                *self
-                    .region_is_huge
-                    .entry(vpn2m)
-                    .or_insert_with(|| {
-                        let mut r = Rng64::new(rng.next_u64() ^ vpn2m.rotate_left(17));
-                        r.chance(p)
-                    })
+                *self.region_is_huge.entry(vpn2m).or_insert_with(|| {
+                    let mut r = Rng64::new(rng.next_u64() ^ vpn2m.rotate_left(17));
+                    r.chance(p)
+                })
             }
         }
     }
 
     /// Returns whether `va` already has a mapping (no allocation).
     pub fn is_mapped(&self, va: VirtAddr) -> bool {
-        self.map_2m.contains_key(&va.page_2m().raw()) || self.map_4k.contains_key(&va.page_4k().raw())
+        self.map_2m.contains_key(&va.page_2m().raw())
+            || self.map_4k.contains_key(&va.page_4k().raw())
     }
 
     /// Returns the page size backing `va`, allocating the mapping on first
@@ -181,20 +182,36 @@ impl Vmem {
     pub fn translate(&mut self, va: VirtAddr, frames: &mut FrameAllocator) -> Translation {
         let vpn2m = va.page_2m().raw();
         if let Some(&pfn) = self.map_2m.get(&vpn2m) {
-            return Translation { vpn: vpn2m, pfn, size: PageSize::Huge2M };
+            return Translation {
+                vpn: vpn2m,
+                pfn,
+                size: PageSize::Huge2M,
+            };
         }
         let vpn4k = va.page_4k().raw();
         if let Some(&pfn) = self.map_4k.get(&vpn4k) {
-            return Translation { vpn: vpn4k, pfn, size: PageSize::Base4K };
+            return Translation {
+                vpn: vpn4k,
+                pfn,
+                size: PageSize::Base4K,
+            };
         }
         if self.region_huge(vpn2m) {
             let pfn = frames.alloc_2m();
             self.map_2m.insert(vpn2m, pfn);
-            Translation { vpn: vpn2m, pfn, size: PageSize::Huge2M }
+            Translation {
+                vpn: vpn2m,
+                pfn,
+                size: PageSize::Huge2M,
+            }
         } else {
             let pfn = frames.alloc_4k();
             self.map_4k.insert(vpn4k, pfn);
-            Translation { vpn: vpn4k, pfn, size: PageSize::Base4K }
+            Translation {
+                vpn: vpn4k,
+                pfn,
+                size: PageSize::Base4K,
+            }
         }
     }
 
@@ -249,7 +266,10 @@ mod tests {
             }
             prev = pfn;
         }
-        assert!(contiguous < 8, "random placement should rarely be contiguous");
+        assert!(
+            contiguous < 8,
+            "random placement should rarely be contiguous"
+        );
     }
 
     #[test]

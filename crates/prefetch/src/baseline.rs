@@ -22,7 +22,9 @@ impl NextLine {
     /// Panics if `degree == 0`.
     pub fn new(degree: u32) -> Self {
         assert!(degree > 0, "degree must be positive");
-        Self { degree: degree as i64 }
+        Self {
+            degree: degree as i64,
+        }
     }
 }
 
@@ -57,7 +59,11 @@ impl Stride {
     /// Creates a stride prefetcher with the given issue degree.
     pub fn new(degree: u32) -> Self {
         assert!(degree > 0, "degree must be positive");
-        Self { table: HashMap::new(), degree: degree as i64, max_entries: 1024 }
+        Self {
+            table: HashMap::new(),
+            degree: degree as i64,
+            max_entries: 1024,
+        }
     }
 }
 
@@ -88,7 +94,12 @@ impl L1dPrefetcher for Stride {
         e.last_line = line;
         if e.confidence >= 2 && e.stride != 0 {
             for k in 1..=self.degree {
-                out.push(candidate(info.pc, info.va, e.stride * k, info.first_page_access));
+                out.push(candidate(
+                    info.pc,
+                    info.va,
+                    e.stride * k,
+                    info.first_page_access,
+                ));
             }
         }
     }
@@ -100,7 +111,13 @@ mod tests {
     use pagecross_types::VirtAddr;
 
     fn info(pc: u64, va: u64) -> AccessInfo {
-        AccessInfo { pc, va: VirtAddr::new(va), hit: false, cycle: 0, first_page_access: false }
+        AccessInfo {
+            pc,
+            va: VirtAddr::new(va),
+            hit: false,
+            cycle: 0,
+            first_page_access: false,
+        }
     }
 
     #[test]

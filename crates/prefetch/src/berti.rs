@@ -77,8 +77,12 @@ impl DeltaSet {
 
     /// Up to two strongest active deltas.
     fn active(&self) -> impl Iterator<Item = i64> + '_ {
-        let mut best: Vec<(i64, u8)> =
-            self.deltas.iter().copied().filter(|(_, c)| *c >= ACTIVE_THRESHOLD).collect();
+        let mut best: Vec<(i64, u8)> = self
+            .deltas
+            .iter()
+            .copied()
+            .filter(|(_, c)| *c >= ACTIVE_THRESHOLD)
+            .collect();
         best.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
         best.into_iter().take(2).map(|(d, _)| d)
     }
@@ -140,7 +144,11 @@ impl L1dPrefetcher for Berti {
             if self.pending.len() == PENDING_LEN {
                 self.pending.pop_front();
             }
-            self.pending.push_back(PendingMiss { pc: info.pc, line, issue_cycle: info.cycle });
+            self.pending.push_back(PendingMiss {
+                pc: info.pc,
+                line,
+                issue_cycle: info.cycle,
+            });
         }
     }
 
@@ -174,11 +182,23 @@ impl L1dPrefetcher for Berti {
 mod tests {
     use super::*;
 
-    fn drive_stream(pf: &mut Berti, pc: u64, base: u64, stride_lines: u64, n: u64) -> Vec<PrefetchCandidate> {
+    fn drive_stream(
+        pf: &mut Berti,
+        pc: u64,
+        base: u64,
+        stride_lines: u64,
+        n: u64,
+    ) -> Vec<PrefetchCandidate> {
         let mut out = Vec::new();
         for i in 0..n {
             let va = VirtAddr::new(base + i * stride_lines * 64);
-            let info = AccessInfo { pc, va, hit: false, cycle: i * 100, first_page_access: false };
+            let info = AccessInfo {
+                pc,
+                va,
+                hit: false,
+                cycle: i * 100,
+                first_page_access: false,
+            };
             pf.on_access(&info, &mut out);
             pf.on_fill(va, i * 100 + 50);
         }
@@ -190,7 +210,10 @@ mod tests {
         let mut pf = Berti::new(1);
         let out = drive_stream(&mut pf, 0x400, 0x10_0000, 1, 64);
         assert!(!out.is_empty(), "trained Berti issues prefetches");
-        assert!(out.iter().all(|c| c.delta > 0), "forward stream gives positive deltas");
+        assert!(
+            out.iter().all(|c| c.delta > 0),
+            "forward stream gives positive deltas"
+        );
     }
 
     #[test]
@@ -248,8 +271,13 @@ mod tests {
         let mut rng = pagecross_types::Rng64::new(3);
         for i in 0..200 {
             let va = VirtAddr::new(rng.below(1 << 30) & !63);
-            let info =
-                AccessInfo { pc: 0x700, va, hit: false, cycle: i * 100, first_page_access: false };
+            let info = AccessInfo {
+                pc: 0x700,
+                va,
+                hit: false,
+                cycle: i * 100,
+                first_page_access: false,
+            };
             pf.on_access(&info, &mut out);
             pf.on_fill(va, i * 100 + 50);
         }

@@ -17,9 +17,9 @@ use pagecross_types::{PrefetchCandidate, VirtAddr};
 
 /// Classic BOP offset candidates: products of small primes up to 256.
 const OFFSETS: &[i64] = &[
-    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54,
-    60, 64, 72, 75, 80, 81, 90, 96, 100, 108, 120, 125, 128, 135, 144, 150, 160, 162, 180, 192,
-    200, 216, 225, 240, 243, 250, 256,
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54, 60,
+    64, 72, 75, 80, 81, 90, 96, 100, 108, 120, 125, 128, 135, 144, 150, 160, 162, 180, 192, 200,
+    216, 225, 240, 243, 250, 256,
 ];
 const SCORE_MAX: u32 = 31;
 const ROUND_MAX: u32 = 100;
@@ -186,7 +186,10 @@ mod tests {
 
     #[test]
     fn offset_candidates_include_page_crossing_values() {
-        assert!(OFFSETS.iter().any(|&o| o > 64), "offsets beyond one page exist");
+        assert!(
+            OFFSETS.iter().any(|&o| o > 64),
+            "offsets beyond one page exist"
+        );
     }
 
     #[test]
@@ -198,7 +201,11 @@ mod tests {
             access(&mut pf, 0x100_0000 + i * 256, i * 10, &mut out);
         }
         let off = pf.active_offset().expect("offset selected");
-        assert_eq!(off % 4, 0, "selected offset {off} should be a multiple of the stride");
+        assert_eq!(
+            off % 4,
+            0,
+            "selected offset {off} should be a multiple of the stride"
+        );
     }
 
     #[test]

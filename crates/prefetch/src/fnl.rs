@@ -40,7 +40,12 @@ impl FnlMma {
     /// Panics if `degree == 0`.
     pub fn new(degree: u64) -> Self {
         assert!(degree > 0, "degree must be positive");
-        Self { degree, last_miss: None, mma: HashMap::new(), max_entries: 1024 }
+        Self {
+            degree,
+            last_miss: None,
+            mma: HashMap::new(),
+            max_entries: 1024,
+        }
     }
 }
 
@@ -101,7 +106,10 @@ mod tests {
         p.on_fetch(500, false, &mut out);
         out.clear();
         p.on_fetch(100, true, &mut out);
-        assert!(out.contains(&500), "MMA predicts the learned successor, got {out:?}");
+        assert!(
+            out.contains(&500),
+            "MMA predicts the learned successor, got {out:?}"
+        );
         assert!(out.contains(&101), "FNL still fires");
     }
 

@@ -116,7 +116,11 @@ impl L1dPrefetcher for Ipcp {
         }
         let e = self.ip_table.entry(info.pc).or_default();
 
-        let delta = if e.last_line != 0 { line - e.last_line } else { 0 };
+        let delta = if e.last_line != 0 {
+            line - e.last_line
+        } else {
+            0
+        };
         if delta != 0 {
             // CS training.
             if delta == e.stride {
@@ -163,7 +167,12 @@ impl L1dPrefetcher for Ipcp {
             }
         } else if cs_ready {
             for k in 1..=CS_DEGREE {
-                out.push(candidate(info.pc, info.va, stride * k, info.first_page_access));
+                out.push(candidate(
+                    info.pc,
+                    info.va,
+                    stride * k,
+                    info.first_page_access,
+                ));
             }
         } else {
             // CPLX: walk the CSPT with lookahead.
@@ -229,7 +238,11 @@ mod tests {
             out.clear();
             pf.on_access(&info, &mut out);
         }
-        assert_eq!(out.len(), GS_DEGREE as usize, "GS issues degree-{GS_DEGREE}");
+        assert_eq!(
+            out.len(),
+            GS_DEGREE as usize,
+            "GS issues degree-{GS_DEGREE}"
+        );
         assert!(out.iter().all(|c| c.delta > 0));
     }
 
@@ -245,7 +258,8 @@ mod tests {
         }
         let out = run(&mut pf, 0x777, &addrs);
         assert!(
-            out.iter().any(|c| c.delta == 2 || c.delta == 5 || c.delta == 7),
+            out.iter()
+                .any(|c| c.delta == 2 || c.delta == 5 || c.delta == 7),
             "CSPT should predict pattern deltas, got {:?}",
             out.iter().map(|c| c.delta).collect::<Vec<_>>()
         );
@@ -257,7 +271,11 @@ mod tests {
         let mut rng = pagecross_types::Rng64::new(11);
         let addrs: Vec<u64> = (0..300).map(|_| rng.below(1 << 32) & !63).collect();
         let out = run(&mut pf, 0x400, &addrs);
-        assert!(out.len() < 60, "random traffic should not trigger much, got {}", out.len());
+        assert!(
+            out.len() < 60,
+            "random traffic should not trigger much, got {}",
+            out.len()
+        );
     }
 
     #[test]

@@ -44,8 +44,8 @@ pub mod spp;
 
 pub use baseline::{NextLine, Stride};
 pub use berti::Berti;
-pub use fnl::{FnlMma, L1iPrefetcher};
 pub use bop::Bop;
+pub use fnl::{FnlMma, L1iPrefetcher};
 pub use ipcp::Ipcp;
 pub use spp::Spp;
 
@@ -98,8 +98,16 @@ pub(crate) fn candidate(
     delta_lines: i64,
     first_page_access: bool,
 ) -> PrefetchCandidate {
-    let target = trigger.line_base().offset(delta_lines * pagecross_types::LINE_SIZE as i64);
-    PrefetchCandidate { pc, trigger, target, delta: delta_lines, first_page_access }
+    let target = trigger
+        .line_base()
+        .offset(delta_lines * pagecross_types::LINE_SIZE as i64);
+    PrefetchCandidate {
+        pc,
+        trigger,
+        target,
+        delta: delta_lines,
+        first_page_access,
+    }
 }
 
 #[cfg(test)]

@@ -41,7 +41,10 @@ pub struct Spp {
 impl Spp {
     /// Creates an SPP instance.
     pub fn new() -> Self {
-        Self { pages: HashMap::new(), patterns: HashMap::new() }
+        Self {
+            pages: HashMap::new(),
+            patterns: HashMap::new(),
+        }
     }
 
     fn update_sig(sig: u16, delta: i64) -> u16 {
@@ -60,7 +63,11 @@ impl Spp {
                 .min_by_key(|s| if s.total == 0 { 0 } else { s.hits })
                 .expect("4 slots");
             if weakest.total == 0 || weakest.hits <= 1 {
-                *weakest = Pattern { delta, hits: 1, total: 0 };
+                *weakest = Pattern {
+                    delta,
+                    hits: 1,
+                    total: 0,
+                };
             }
         }
         for s in slots.iter_mut() {
@@ -122,7 +129,9 @@ impl L2Prefetcher for Spp {
         let mut cur_offset = offset;
         let mut cur_sig = sig;
         for _ in 0..LOOKAHEAD_MAX {
-            let Some((delta, p)) = self.best(cur_sig) else { break };
+            let Some((delta, p)) = self.best(cur_sig) else {
+                break;
+            };
             conf *= p;
             if conf < CONF_THRESHOLD {
                 break;

@@ -1,0 +1,350 @@
+//! The record codec: LEB128 varints, zigzag deltas and CRC-32.
+//!
+//! Records are encoded relative to the previous record of the *same chunk*
+//! (delta state resets at every chunk boundary), so chunks decode
+//! independently — a seek, a rewind, or a background decoder never needs
+//! context from an earlier chunk.
+//!
+//! Per record:
+//!
+//! ```text
+//! [kind u8] [varint zigzag(Δpc)] [varint zigzag(Δva)]?   (Δva only for loads/stores)
+//! ```
+//!
+//! Deltas are wrapping `u64` subtractions reinterpreted as `i64` and
+//! zigzag-folded, which is lossless for every possible address while
+//! keeping sequential pcs/vas (the common case) to one or two bytes.
+
+use pagecross_cpu::trace::{Instr, Op};
+use pagecross_types::VirtAddr;
+
+/// Record kind tags (one byte each).
+const K_ALU: u8 = 0;
+const K_BRANCH_NT: u8 = 1;
+const K_BRANCH_T: u8 = 2;
+const K_LOAD: u8 = 3;
+const K_LOAD_DEP: u8 = 4;
+const K_STORE: u8 = 5;
+
+/// Appends `v` as an LEB128 varint (7 bits per byte, MSB = continuation).
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint at `*pos`, advancing it. Errors on overlong
+/// encodings (> 10 bytes) and on running off the end of the buffer.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf
+            .get(*pos)
+            .ok_or("varint runs past the end of the chunk payload")?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err("varint overflows u64".to_string());
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err("varint longer than 10 bytes".to_string());
+        }
+    }
+}
+
+/// Zigzag-folds a signed delta into an unsigned varint-friendly value.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[inline]
+fn write_delta(buf: &mut Vec<u8>, prev: &mut u64, cur: u64) {
+    write_varint(buf, zigzag(cur.wrapping_sub(*prev) as i64));
+    *prev = cur;
+}
+
+#[inline]
+fn read_delta(buf: &[u8], pos: &mut usize, prev: &mut u64) -> Result<u64, String> {
+    let d = unzigzag(read_varint(buf, pos)?);
+    *prev = prev.wrapping_add(d as u64);
+    Ok(*prev)
+}
+
+/// Encodes `records` into a chunk payload (delta state starts at zero).
+pub fn encode_records(records: &[Instr]) -> Vec<u8> {
+    // Sequential code dominates: ~2 bytes per ALU/branch, ~4 per memory op.
+    let mut buf = Vec::with_capacity(records.len() * 4);
+    let (mut prev_pc, mut prev_va) = (0u64, 0u64);
+    for r in records {
+        match r.op {
+            Op::Alu => buf.push(K_ALU),
+            Op::Branch { taken } => buf.push(if taken { K_BRANCH_T } else { K_BRANCH_NT }),
+            Op::Load {
+                depends_on_prev, ..
+            } => buf.push(if depends_on_prev { K_LOAD_DEP } else { K_LOAD }),
+            Op::Store { .. } => buf.push(K_STORE),
+        }
+        write_delta(&mut buf, &mut prev_pc, r.pc);
+        match r.op {
+            Op::Load { va, .. } | Op::Store { va } => {
+                write_delta(&mut buf, &mut prev_va, va.raw());
+            }
+            _ => {}
+        }
+    }
+    buf
+}
+
+/// Decodes exactly `count` records from a chunk payload. Errors when the
+/// payload is malformed, too short, or carries trailing bytes.
+pub fn decode_records(payload: &[u8], count: u64) -> Result<Vec<Instr>, String> {
+    let mut out = Vec::with_capacity(count as usize);
+    let (mut prev_pc, mut prev_va) = (0u64, 0u64);
+    let mut pos = 0usize;
+    for i in 0..count {
+        let &kind = payload
+            .get(pos)
+            .ok_or_else(|| format!("payload ends at record {i} of {count}"))?;
+        pos += 1;
+        let pc = read_delta(payload, &mut pos, &mut prev_pc)?;
+        let op = match kind {
+            K_ALU => Op::Alu,
+            K_BRANCH_NT => Op::Branch { taken: false },
+            K_BRANCH_T => Op::Branch { taken: true },
+            K_LOAD | K_LOAD_DEP => {
+                let va = read_delta(payload, &mut pos, &mut prev_va)?;
+                Op::Load {
+                    va: VirtAddr::new(va),
+                    depends_on_prev: kind == K_LOAD_DEP,
+                }
+            }
+            K_STORE => {
+                let va = read_delta(payload, &mut pos, &mut prev_va)?;
+                Op::Store {
+                    va: VirtAddr::new(va),
+                }
+            }
+            other => return Err(format!("unknown record kind {other:#04x} at record {i}")),
+        };
+        out.push(Instr { pc, op });
+    }
+    if pos != payload.len() {
+        return Err(format!(
+            "{} trailing byte(s) after the last record",
+            payload.len() - pos
+        ));
+    }
+    Ok(out)
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    static TABLE: [u32; 256] = table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagecross_types::prop::{check, vec_of, Config, Shrink};
+    use pagecross_types::{prop_assert, prop_assert_eq, Rng64};
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_truncated() {
+        // 11 continuation bytes: too long for a u64.
+        let overlong = vec![0x80u8; 11];
+        assert!(read_varint(&overlong, &mut 0).is_err());
+        // Continuation bit set on the last available byte.
+        let truncated = vec![0x80u8];
+        assert!(read_varint(&truncated, &mut 0).is_err());
+        // 10th byte carrying more than the single remaining bit.
+        let mut overflow = vec![0xFFu8; 9];
+        overflow.push(0x7F);
+        assert!(read_varint(&overflow, &mut 0).is_err());
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 4096, -4096] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    /// Local wrapper so the foreign `Instr` can ride through the in-repo
+    /// property harness (which needs `Shrink`).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct ArbInstr(Instr);
+
+    impl Shrink for ArbInstr {}
+
+    /// An arbitrary instruction over the full 64-bit pc/va space — the
+    /// codec must be lossless even for addresses no sane trace contains.
+    fn arb_instr(rng: &mut Rng64) -> ArbInstr {
+        let pc = rng.next_u64();
+        let op = match rng.below(6) {
+            0 => Op::Alu,
+            1 => Op::Branch { taken: false },
+            2 => Op::Branch { taken: true },
+            3 => Op::Load {
+                va: VirtAddr::new(rng.next_u64()),
+                depends_on_prev: false,
+            },
+            4 => Op::Load {
+                va: VirtAddr::new(rng.next_u64()),
+                depends_on_prev: true,
+            },
+            _ => Op::Store {
+                va: VirtAddr::new(rng.next_u64()),
+            },
+        };
+        ArbInstr(Instr { pc, op })
+    }
+
+    #[test]
+    fn prop_records_round_trip() {
+        check(
+            &Config::cases(128).seed(0x9C75),
+            |rng| vec_of(rng, 0, 300, arb_instr),
+            |instrs: &Vec<ArbInstr>| {
+                let plain: Vec<Instr> = instrs.iter().map(|a| a.0).collect();
+                let payload = encode_records(&plain);
+                let back = decode_records(&payload, plain.len() as u64)
+                    .map_err(|e| format!("decode failed: {e}"))?;
+                prop_assert_eq!(&back, &plain, "round trip diverged");
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn prop_truncated_payload_rejected() {
+        check(
+            &Config::cases(64).seed(0x7AC3),
+            |rng| vec_of(rng, 1, 100, arb_instr),
+            |instrs: &Vec<ArbInstr>| {
+                let plain: Vec<Instr> = instrs.iter().map(|a| a.0).collect();
+                let payload = encode_records(&plain);
+                // Dropping the final byte must never decode cleanly: either
+                // a record is cut short or a trailing-length check fires.
+                let cut = &payload[..payload.len() - 1];
+                prop_assert!(
+                    decode_records(cut, plain.len() as u64).is_err(),
+                    "truncated payload decoded cleanly"
+                );
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let records = vec![
+            Instr {
+                pc: 0x400000,
+                op: Op::Alu,
+            },
+            Instr {
+                pc: 0x400004,
+                op: Op::Alu,
+            },
+        ];
+        let mut payload = encode_records(&records);
+        payload.push(0);
+        let err = decode_records(&payload, 2).unwrap_err();
+        assert!(err.contains("trailing"), "got: {err}");
+    }
+
+    #[test]
+    fn sequential_code_is_compact() {
+        // A realistic basic block: sequential pcs, striding loads. The
+        // format exists to be compact — keep it honest.
+        let mut records = Vec::new();
+        for i in 0..1024u64 {
+            let pc = 0x40_0000 + i * 4;
+            let op = if i % 4 == 0 {
+                Op::Load {
+                    va: VirtAddr::new(0x10_0000 + i * 64),
+                    depends_on_prev: false,
+                }
+            } else {
+                Op::Alu
+            };
+            records.push(Instr { pc, op });
+        }
+        let payload = encode_records(&records);
+        assert!(
+            payload.len() < records.len() * 4,
+            "expected < 4 bytes/record, got {} for {}",
+            payload.len(),
+            records.len()
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Blocking `.pct` reading: header validation, chunk-at-a-time decode,
+//! full-file loads and integrity scans.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use pagecross_cpu::trace::Instr;
+
+use crate::codec::{crc32, decode_records};
+use crate::format::{decode_header, TraceMeta, CHUNK_TAG, END_TAG, MAX_CHUNK_PAYLOAD};
+use crate::TraceError;
+
+/// A validated, positioned `.pct` file, decoded one chunk at a time.
+pub struct TraceReader {
+    file: BufReader<File>,
+    meta: TraceMeta,
+    /// File offset of the first chunk (rewind target).
+    data_start: u64,
+    /// Index of the next chunk to be read.
+    chunk_index: u64,
+    /// Records decoded since the last rewind.
+    records_seen: u64,
+}
+
+impl TraceReader {
+    /// Opens `path`, validating the header (magic, version, CRC). A header
+    /// whose instruction count is still zero marks a recording that never
+    /// finished and is rejected as truncated.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        let mut file = BufReader::new(File::open(path)?);
+        // Headers are small; over-read a prefix, then seek to the real end.
+        let mut prefix = vec![0u8; 4096];
+        let mut got = 0usize;
+        while got < prefix.len() {
+            let n = file.read(&mut prefix[got..])?;
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        let (meta, header_len) = decode_header(&prefix[..got])?;
+        if meta.instr_count == 0 {
+            return Err(TraceError::Truncated(
+                "header instruction count is zero — the recording was never finished".to_string(),
+            ));
+        }
+        file.seek(SeekFrom::Start(header_len as u64))?;
+        Ok(Self {
+            file,
+            meta,
+            data_start: header_len as u64,
+            chunk_index: 0,
+            records_seen: 0,
+        })
+    }
+
+    /// The header metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    fn read_exact_or_truncated(&mut self, buf: &mut [u8], what: &str) -> Result<(), TraceError> {
+        self.file.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceError::Truncated(format!(
+                    "file ends inside {what} (chunk {})",
+                    self.chunk_index
+                ))
+            } else {
+                TraceError::Io(e)
+            }
+        })
+    }
+
+    /// Reads a varint byte-by-byte from the file.
+    fn read_varint_file(&mut self, what: &str) -> Result<u64, TraceError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let mut byte = [0u8; 1];
+            self.read_exact_or_truncated(&mut byte, what)?;
+            let b = byte[0];
+            if (shift == 63 && b > 1) || shift > 63 {
+                return Err(TraceError::ChunkCorrupt {
+                    chunk: self.chunk_index,
+                    detail: format!("malformed varint in {what}"),
+                });
+            }
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Decodes the next chunk into `out` (replacing its contents).
+    ///
+    /// Returns `Ok(true)` when a chunk was decoded, `Ok(false)` at a clean
+    /// end-of-stream (marker present and the record counts agree). Any
+    /// other condition — early EOF, CRC mismatch, count disagreement — is
+    /// an error.
+    pub fn next_chunk(&mut self, out: &mut Vec<Instr>) -> Result<bool, TraceError> {
+        let mut tag = [0u8; 1];
+        self.read_exact_or_truncated(&mut tag, "a chunk tag")?;
+        match tag[0] {
+            END_TAG => {
+                let mut total = [0u8; 8];
+                self.read_exact_or_truncated(&mut total, "the end-of-stream marker")?;
+                let total = u64::from_le_bytes(total);
+                if total != self.records_seen {
+                    return Err(TraceError::CountMismatch {
+                        expected: total,
+                        actual: self.records_seen,
+                    });
+                }
+                if total != self.meta.instr_count {
+                    return Err(TraceError::CountMismatch {
+                        expected: self.meta.instr_count,
+                        actual: total,
+                    });
+                }
+                Ok(false)
+            }
+            CHUNK_TAG => {
+                let n_records = self.read_varint_file("a chunk record count")?;
+                let payload_len = self.read_varint_file("a chunk payload length")?;
+                if payload_len > MAX_CHUNK_PAYLOAD || n_records > MAX_CHUNK_PAYLOAD {
+                    return Err(TraceError::ChunkCorrupt {
+                        chunk: self.chunk_index,
+                        detail: format!(
+                            "implausible chunk framing ({n_records} records, {payload_len} bytes)"
+                        ),
+                    });
+                }
+                let mut payload = vec![0u8; payload_len as usize];
+                self.read_exact_or_truncated(&mut payload, "a chunk payload")?;
+                let mut stored = [0u8; 4];
+                self.read_exact_or_truncated(&mut stored, "a chunk checksum")?;
+                let stored = u32::from_le_bytes(stored);
+                let actual = crc32(&payload);
+                if stored != actual {
+                    return Err(TraceError::ChunkCorrupt {
+                        chunk: self.chunk_index,
+                        detail: format!(
+                            "payload checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"
+                        ),
+                    });
+                }
+                *out = decode_records(&payload, n_records).map_err(|detail| {
+                    TraceError::ChunkCorrupt {
+                        chunk: self.chunk_index,
+                        detail,
+                    }
+                })?;
+                self.records_seen += n_records;
+                self.chunk_index += 1;
+                Ok(true)
+            }
+            other => Err(TraceError::ChunkCorrupt {
+                chunk: self.chunk_index,
+                detail: format!("unknown frame tag {other:#04x}"),
+            }),
+        }
+    }
+
+    /// Repositions at the first chunk (trace repeat).
+    pub fn rewind(&mut self) -> Result<(), TraceError> {
+        self.file.seek(SeekFrom::Start(self.data_start))?;
+        self.chunk_index = 0;
+        self.records_seen = 0;
+        Ok(())
+    }
+}
+
+/// Loads an entire trace into memory, verifying every checksum and the
+/// end-of-stream marker.
+pub fn read_all(path: &Path) -> Result<(TraceMeta, Vec<Instr>), TraceError> {
+    let mut reader = TraceReader::open(path)?;
+    let mut all = Vec::with_capacity(reader.meta().instr_count as usize);
+    let mut chunk = Vec::new();
+    while reader.next_chunk(&mut chunk)? {
+        all.extend_from_slice(&chunk);
+    }
+    let meta = reader.meta().clone();
+    Ok((meta, all))
+}
+
+/// Scans a trace end to end — every chunk CRC, the record counts, the end
+/// marker — without keeping the records. Returns the metadata on success.
+pub fn verify_file(path: &Path) -> Result<TraceMeta, TraceError> {
+    let mut reader = TraceReader::open(path)?;
+    let mut chunk = Vec::new();
+    while reader.next_chunk(&mut chunk)? {}
+    Ok(reader.meta().clone())
+}

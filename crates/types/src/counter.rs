@@ -38,9 +38,16 @@ impl SatCounter {
     ///
     /// Panics if `bits` is not in `2..=15`.
     pub fn new(bits: u32) -> Self {
-        assert!((2..=15).contains(&bits), "counter width must be 2..=15 bits");
+        assert!(
+            (2..=15).contains(&bits),
+            "counter width must be 2..=15 bits"
+        );
         let max = (1i16 << (bits - 1)) - 1;
-        Self { value: 0, min: -max - 1, max }
+        Self {
+            value: 0,
+            min: -max - 1,
+            max,
+        }
     }
 
     /// Creates a counter with an explicit initial value (clamped to range).
@@ -111,7 +118,11 @@ impl SatCounter {
 
 impl fmt::Debug for SatCounter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SatCounter({} in [{}, {}])", self.value, self.min, self.max)
+        write!(
+            f,
+            "SatCounter({} in [{}, {}])",
+            self.value, self.min, self.max
+        )
     }
 }
 

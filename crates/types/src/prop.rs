@@ -57,7 +57,11 @@ impl Config {
             .and_then(|s| s.parse::<u32>().ok())
             .unwrap_or(cases)
             .max(1);
-        Self { cases, seed: Self::DEFAULT_SEED, max_shrink_steps: 2_000 }
+        Self {
+            cases,
+            seed: Self::DEFAULT_SEED,
+            max_shrink_steps: 2_000,
+        }
     }
 
     /// Overrides the seed.
@@ -123,7 +127,11 @@ impl_shrink_int!(i8, i16, i32, i64, isize);
 
 impl Shrink for bool {
     fn shrink(&self) -> Vec<Self> {
-        if *self { vec![false] } else { Vec::new() }
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -132,7 +140,7 @@ impl Shrink for f64 {
         let v = *self;
         let mut out = Vec::new();
         for c in [0.0, v / 2.0] {
-            if c != v && !out.iter().any(|&x: &f64| x == c) {
+            if c != v && !out.contains(&c) {
                 out.push(c);
             }
         }
@@ -152,9 +160,24 @@ impl<A: Shrink + Clone, B: Shrink + Clone> Shrink for (A, B) {
 impl<A: Shrink + Clone, B: Shrink + Clone, C: Shrink + Clone> Shrink for (A, B, C) {
     fn shrink(&self) -> Vec<Self> {
         let mut out = Vec::new();
-        out.extend(self.0.shrink().into_iter().map(|a| (a, self.1.clone(), self.2.clone())));
-        out.extend(self.1.shrink().into_iter().map(|b| (self.0.clone(), b, self.2.clone())));
-        out.extend(self.2.shrink().into_iter().map(|c| (self.0.clone(), self.1.clone(), c)));
+        out.extend(
+            self.0
+                .shrink()
+                .into_iter()
+                .map(|a| (a, self.1.clone(), self.2.clone())),
+        );
+        out.extend(
+            self.1
+                .shrink()
+                .into_iter()
+                .map(|b| (self.0.clone(), b, self.2.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink()
+                .into_iter()
+                .map(|c| (self.0.clone(), self.1.clone(), c)),
+        );
         out
     }
 }
@@ -318,7 +341,11 @@ mod tests {
     fn passing_property_runs_all_cases() {
         let count = std::cell::Cell::new(0u32);
         check(
-            &Config { cases: 37, seed: 1, max_shrink_steps: 100 },
+            &Config {
+                cases: 37,
+                seed: 1,
+                max_shrink_steps: 100,
+            },
             |rng| rng.below(10),
             |_| {
                 count.set(count.get() + 1);
@@ -332,7 +359,11 @@ mod tests {
     fn failure_is_shrunk_to_minimal_scalar() {
         let result = std::panic::catch_unwind(|| {
             check(
-                &Config { cases: 200, seed: 2, max_shrink_steps: 1_000 },
+                &Config {
+                    cases: 200,
+                    seed: 2,
+                    max_shrink_steps: 1_000,
+                },
                 |rng| rng.below(1_000_000),
                 |&v| {
                     prop_assert!(v < 17, "too big: {v}");
@@ -350,7 +381,11 @@ mod tests {
     fn failure_is_shrunk_to_minimal_vec() {
         let result = std::panic::catch_unwind(|| {
             check(
-                &Config { cases: 200, seed: 3, max_shrink_steps: 4_000 },
+                &Config {
+                    cases: 200,
+                    seed: 3,
+                    max_shrink_steps: 4_000,
+                },
                 |rng| vec_of(rng, 0, 50, |r| r.below(100)),
                 |v: &Vec<u64>| {
                     prop_assert!(!v.iter().any(|&x| x >= 60), "has a large element");

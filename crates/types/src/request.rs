@@ -128,7 +128,7 @@ pub enum TranslationOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::addr::{PAGE_SIZE_4K, HUGE_PAGE_SIZE_2M};
+    use crate::addr::{HUGE_PAGE_SIZE_2M, PAGE_SIZE_4K};
 
     fn cand(trigger: u64, target: u64) -> PrefetchCandidate {
         PrefetchCandidate {

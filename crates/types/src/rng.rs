@@ -26,7 +26,13 @@ impl Rng64 {
     /// Creates a generator from a seed. A zero seed is remapped to a fixed
     /// non-zero constant (xorshift has an all-zero fixed point).
     pub fn new(seed: u64) -> Self {
-        Self { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next raw 64-bit value.

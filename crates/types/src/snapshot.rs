@@ -66,13 +66,21 @@ mod tests {
 
     #[test]
     fn accuracy_ratio() {
-        let s = SystemSnapshot { pgc_useful: 30, pgc_useless: 10, ..Default::default() };
+        let s = SystemSnapshot {
+            pgc_useful: 30,
+            pgc_useless: 10,
+            ..Default::default()
+        };
         assert!((s.pgc_accuracy() - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn accuracy_all_useless() {
-        let s = SystemSnapshot { pgc_useful: 0, pgc_useless: 5, ..Default::default() };
+        let s = SystemSnapshot {
+            pgc_useful: 0,
+            pgc_useless: 5,
+            ..Default::default()
+        };
         assert_eq!(s.pgc_accuracy(), 0.0);
     }
 }

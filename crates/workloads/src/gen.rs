@@ -125,7 +125,13 @@ impl GenParams {
             branch_ratio: 0.10,
             branch_predictability: 0.97,
             phases: vec![Phase {
-                components: vec![(Component::Stream { stride_lines: 1, pages: 4096 }, 1)],
+                components: vec![(
+                    Component::Stream {
+                        stride_lines: 1,
+                        pages: 4096,
+                    },
+                    1,
+                )],
             }],
             phase_len: 50_000,
             code_lines: 32,
@@ -149,7 +155,10 @@ impl CompState {
     fn next_access(&mut self, rng: &mut Rng64) -> (u64, u64, bool) {
         // Returns (pc, va, depends_on_prev).
         match self.comp {
-            Component::Stream { stride_lines, pages } => {
+            Component::Stream {
+                stride_lines,
+                pages,
+            } => {
                 // Four 16-byte touches per line, like a real array sweep.
                 let span_lines = pages * (PAGE_SIZE_4K / LINE_SIZE);
                 let line = ((self.pos / 4) * stride_lines) % span_lines;
@@ -157,7 +166,10 @@ impl CompState {
                 self.pos += 1;
                 (self.pc_base, va, false)
             }
-            Component::AlternatingStream { pages, period_pages } => {
+            Component::AlternatingStream {
+                pages,
+                period_pages,
+            } => {
                 // Four 16-byte touches per line, sequential within the page.
                 let lines_per_page = PAGE_SIZE_4K / LINE_SIZE;
                 let touches_per_page = 4 * lines_per_page;
@@ -294,7 +306,13 @@ impl SyntheticTrace {
                     + (rng.below(16)) * PAGE_SIZE_4K;
                 let pc_base = 0x40_0000 + (pi as u64 * 64 + ci as u64) * 0x100;
                 states.push((
-                    CompState { comp, base, pos: 0, pc_base, burst: 0 },
+                    CompState {
+                        comp,
+                        base,
+                        pos: 0,
+                        pc_base,
+                        burst: 0,
+                    },
                     w.max(1),
                 ));
                 tw += w.max(1) as u64;
@@ -302,7 +320,14 @@ impl SyntheticTrace {
             phase_states.push(states);
             total_weight.push(tw);
         }
-        Self { params, rng, phase_states, total_weight, instrs: 0, loop_pc: 0 }
+        Self {
+            params,
+            rng,
+            phase_states,
+            total_weight,
+            instrs: 0,
+            loop_pc: 0,
+        }
     }
 
     fn phase_index(&self) -> usize {
@@ -334,10 +359,21 @@ impl TraceSource for SyntheticTrace {
         let p = &self.params;
         if r < p.load_ratio {
             let (pc, va, dep) = self.pick_component();
-            Instr { pc, op: Op::Load { va: VirtAddr::new(va), depends_on_prev: dep } }
+            Instr {
+                pc,
+                op: Op::Load {
+                    va: VirtAddr::new(va),
+                    depends_on_prev: dep,
+                },
+            }
         } else if r < p.load_ratio + p.store_ratio {
             let (pc, va, _) = self.pick_component();
-            Instr { pc: pc + 4, op: Op::Store { va: VirtAddr::new(va) } }
+            Instr {
+                pc: pc + 4,
+                op: Op::Store {
+                    va: VirtAddr::new(va),
+                },
+            }
         } else if r < p.load_ratio + p.store_ratio + p.branch_ratio {
             // A loop-like branch: predicted-taken pattern with noise.
             let predicted = true;
@@ -346,9 +382,15 @@ impl TraceSource for SyntheticTrace {
             } else {
                 !predicted
             };
-            Instr { pc: pc_body, op: Op::Branch { taken } }
+            Instr {
+                pc: pc_body,
+                op: Op::Branch { taken },
+            }
         } else {
-            Instr { pc: pc_body, op: Op::Alu }
+            Instr {
+                pc: pc_body,
+                op: Op::Alu,
+            }
         }
     }
 }
@@ -384,9 +426,18 @@ mod tests {
     #[test]
     fn ratios_roughly_respected() {
         let instrs = drain(GenParams::streaming_default(3), 20_000);
-        let n_load = instrs.iter().filter(|i| matches!(i.op, Op::Load { .. })).count();
-        let n_store = instrs.iter().filter(|i| matches!(i.op, Op::Store { .. })).count();
-        let n_branch = instrs.iter().filter(|i| matches!(i.op, Op::Branch { .. })).count();
+        let n_load = instrs
+            .iter()
+            .filter(|i| matches!(i.op, Op::Load { .. }))
+            .count();
+        let n_store = instrs
+            .iter()
+            .filter(|i| matches!(i.op, Op::Store { .. }))
+            .count();
+        let n_branch = instrs
+            .iter()
+            .filter(|i| matches!(i.op, Op::Branch { .. }))
+            .count();
         assert!((n_load as f64 / 20_000.0 - 0.25).abs() < 0.03);
         assert!((n_store as f64 / 20_000.0 - 0.05).abs() < 0.02);
         assert!((n_branch as f64 / 20_000.0 - 0.10).abs() < 0.02);
@@ -399,7 +450,11 @@ mod tests {
         let increasing = vas.windows(2).filter(|w| w[1] > w[0]).count();
         assert!(increasing as f64 > vas.len() as f64 * 0.95);
         let pages: std::collections::HashSet<u64> = vas.iter().map(|v| v >> 12).collect();
-        assert!(pages.len() > 10, "stream must span many pages, got {}", pages.len());
+        assert!(
+            pages.len() > 10,
+            "stream must span many pages, got {}",
+            pages.len()
+        );
     }
 
     #[test]
@@ -448,27 +503,55 @@ mod tests {
     #[test]
     fn chase_loads_are_dependent() {
         let mut p = GenParams::streaming_default(9);
-        p.phases = vec![Phase { components: vec![(Component::Chase { pages: 1024 }, 1)] }];
+        p.phases = vec![Phase {
+            components: vec![(Component::Chase { pages: 1024 }, 1)],
+        }];
         let instrs = drain(p, 5_000);
         let dep = instrs
             .iter()
-            .filter(|i| matches!(i.op, Op::Load { depends_on_prev: true, .. }))
+            .filter(|i| {
+                matches!(
+                    i.op,
+                    Op::Load {
+                        depends_on_prev: true,
+                        ..
+                    }
+                )
+            })
             .count();
-        let all = instrs.iter().filter(|i| matches!(i.op, Op::Load { .. })).count();
+        let all = instrs
+            .iter()
+            .filter(|i| matches!(i.op, Op::Load { .. }))
+            .count();
         let frac = dep as f64 / all as f64;
-        assert!((0.3..0.7).contains(&frac), "~half of chase loads are dependent, got {frac}");
+        assert!(
+            (0.3..0.7).contains(&frac),
+            "~half of chase loads are dependent, got {frac}"
+        );
     }
 
     #[test]
     fn graph_mixes_sequential_and_zipf() {
         let mut p = GenParams::streaming_default(11);
         p.phases = vec![Phase {
-            components: vec![(Component::GraphCsr { pages: 2048, degree: 4 }, 1)],
+            components: vec![(
+                Component::GraphCsr {
+                    pages: 2048,
+                    degree: 4,
+                },
+                1,
+            )],
         }];
         let vas = loads(&drain(p, 30_000));
-        let high = vas.iter().filter(|v| **v >= 0x1_0000_0000 + (1 << 30)).count();
+        let high = vas
+            .iter()
+            .filter(|v| **v >= 0x1_0000_0000 + (1 << 30))
+            .count();
         let low = vas.len() - high;
-        assert!(high > 0 && low > 0, "both offsets and neighbour regions touched");
+        assert!(
+            high > 0 && low > 0,
+            "both offsets and neighbour regions touched"
+        );
     }
 
     #[test]
@@ -476,8 +559,18 @@ mod tests {
         let mut p = GenParams::streaming_default(13);
         p.phase_len = 1_000;
         p.phases = vec![
-            Phase { components: vec![(Component::Stream { stride_lines: 1, pages: 64 }, 1)] },
-            Phase { components: vec![(Component::Hot { pages: 4 }, 1)] },
+            Phase {
+                components: vec![(
+                    Component::Stream {
+                        stride_lines: 1,
+                        pages: 64,
+                    },
+                    1,
+                )],
+            },
+            Phase {
+                components: vec![(Component::Hot { pages: 4 }, 1)],
+            },
         ];
         let mut t = SyntheticTrace::new(p);
         let mut phase0_vas = vec![];
@@ -502,7 +595,9 @@ mod tests {
     #[test]
     fn hot_component_stays_small() {
         let mut p = GenParams::streaming_default(15);
-        p.phases = vec![Phase { components: vec![(Component::Hot { pages: 4 }, 1)] }];
+        p.phases = vec![Phase {
+            components: vec![(Component::Hot { pages: 4 }, 1)],
+        }];
         let vas = loads(&drain(p, 10_000));
         let pages: std::collections::HashSet<u64> = vas.iter().map(|v| v >> 12).collect();
         assert!(pages.len() <= 4);

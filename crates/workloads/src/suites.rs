@@ -175,41 +175,102 @@ fn template(suite: SuiteId, idx: usize, seed: u64) -> GenParams {
     match suite {
         SuiteId::Spec06 | SuiteId::Spec17 => match idx % 7 {
             // libquantum/lbm-like pure stream: page-cross friendly.
-            0 => mix(one(vec![(Stream { stride_lines: 1, pages: pages_big }, 1)]), 0.28, 64_000, seed),
+            0 => mix(
+                one(vec![(
+                    Stream {
+                        stride_lines: 1,
+                        pages: pages_big,
+                    },
+                    1,
+                )]),
+                0.28,
+                64_000,
+                seed,
+            ),
             // sphinx3/fotonik-like segmented over a TLB-exceeding footprint:
             // page-cross hostile.
-            1 => mix(one(vec![(SegmentedStream { pages: pages_big }, 1)]), 0.30, 64_000, seed),
+            1 => mix(
+                one(vec![(SegmentedStream { pages: pages_big }, 1)]),
+                0.30,
+                64_000,
+                seed,
+            ),
             // mcf-like chase.
-            2 => mix(one(vec![(Chase { pages: pages_big }, 1)]), 0.22, 64_000, seed),
+            2 => mix(
+                one(vec![(Chase { pages: pages_big }, 1)]),
+                0.22,
+                64_000,
+                seed,
+            ),
             // astar-like TLB-bound strided stream: crosses pages every few
             // accesses, very page-cross friendly.
             3 => mix(
-                one(vec![(Stream { stride_lines: 16, pages: pages_big }, 1)]),
+                one(vec![(
+                    Stream {
+                        stride_lines: 16,
+                        pages: pages_big,
+                    },
+                    1,
+                )]),
                 0.26,
                 64_000,
                 seed,
             ),
             // stencil sweep: every touch lands on a new page, predictable
             // large delta.
-            4 => mix(one(vec![(Stencil { row_lines: 80, rows: 128 * scale }, 1)]), 0.27, 64_000, seed),
+            4 => mix(
+                one(vec![(
+                    Stencil {
+                        row_lines: 80,
+                        rows: 128 * scale,
+                    },
+                    1,
+                )]),
+                0.27,
+                64_000,
+                seed,
+            ),
             // phase-flipping stream: the same PC/delta is page-cross
             // friendly and hostile in alternating phases.
             5 => mix(
-                one(vec![(AlternatingStream { pages: pages_big, period_pages: 24 }, 1)]),
+                one(vec![(
+                    AlternatingStream {
+                        pages: pages_big,
+                        period_pages: 24,
+                    },
+                    1,
+                )]),
                 0.28,
                 64_000,
                 seed,
             ),
             // twin streams from one PC: useful and harmful page-cross
             // deltas share every trigger-level feature.
-            _ => mix(one(vec![(TwinStream { pages: pages_mid }, 1)]), 0.28, 64_000, seed),
+            _ => mix(
+                one(vec![(TwinStream { pages: pages_mid }, 1)]),
+                0.28,
+                64_000,
+                seed,
+            ),
         },
         SuiteId::Gap | SuiteId::Ligra => match idx % 5 {
             // cc.road/tc.road-like: streaming-dominated graph, PGC-friendly.
             0 => mix(
                 one(vec![
-                    (Stream { stride_lines: 1, pages: pages_big }, 2),
-                    (GraphCsr { pages: pages_big, degree: 3 }, 1),
+                    (
+                        Stream {
+                            stride_lines: 1,
+                            pages: pages_big,
+                        },
+                        2,
+                    ),
+                    (
+                        GraphCsr {
+                            pages: pages_big,
+                            degree: 3,
+                        },
+                        1,
+                    ),
                 ]),
                 0.30,
                 48_000,
@@ -219,19 +280,48 @@ fn template(suite: SuiteId, idx: usize, seed: u64) -> GenParams {
             1 => mix(
                 one(vec![
                     (SegmentedStream { pages: pages_big }, 2),
-                    (GraphCsr { pages: pages_big, degree: 6 }, 1),
+                    (
+                        GraphCsr {
+                            pages: pages_big,
+                            degree: 6,
+                        },
+                        1,
+                    ),
                 ]),
                 0.30,
                 48_000,
                 seed,
             ),
             // bfs-like: CSR heavy.
-            2 => mix(one(vec![(GraphCsr { pages: pages_big, degree: 4 }, 1)]), 0.32, 48_000, seed),
+            2 => mix(
+                one(vec![(
+                    GraphCsr {
+                        pages: pages_big,
+                        degree: 4,
+                    },
+                    1,
+                )]),
+                0.32,
+                48_000,
+                seed,
+            ),
             // phase-flipping graph frontier.
             3 => mix(
                 one(vec![
-                    (AlternatingStream { pages: pages_big, period_pages: 32 }, 2),
-                    (GraphCsr { pages: pages_big, degree: 4 }, 1),
+                    (
+                        AlternatingStream {
+                            pages: pages_big,
+                            period_pages: 32,
+                        },
+                        2,
+                    ),
+                    (
+                        GraphCsr {
+                            pages: pages_big,
+                            degree: 4,
+                        },
+                        1,
+                    ),
                 ]),
                 0.30,
                 48_000,
@@ -240,8 +330,18 @@ fn template(suite: SuiteId, idx: usize, seed: u64) -> GenParams {
             // mis/kcore-like: chase + stream phases alternating.
             _ => mix(
                 vec![
-                    Phase { components: vec![(Stream { stride_lines: 1, pages: pages_mid }, 1)] },
-                    Phase { components: vec![(Chase { pages: pages_big }, 1)] },
+                    Phase {
+                        components: vec![(
+                            Stream {
+                                stride_lines: 1,
+                                pages: pages_mid,
+                            },
+                            1,
+                        )],
+                    },
+                    Phase {
+                        components: vec![(Chase { pages: pages_big }, 1)],
+                    },
                 ],
                 0.28,
                 24_000,
@@ -250,24 +350,68 @@ fn template(suite: SuiteId, idx: usize, seed: u64) -> GenParams {
         },
         SuiteId::Parsec => match idx % 3 {
             // vips-like streaming kernels.
-            0 => mix(one(vec![(Stream { stride_lines: 1, pages: pages_mid }, 1)]), 0.24, 64_000, seed),
+            0 => mix(
+                one(vec![(
+                    Stream {
+                        stride_lines: 1,
+                        pages: pages_mid,
+                    },
+                    1,
+                )]),
+                0.24,
+                64_000,
+                seed,
+            ),
             // canneal-like chase (footprint beyond the LLC).
-            1 => mix(one(vec![(Chase { pages: pages_big }, 1)]), 0.20, 64_000, seed),
+            1 => mix(
+                one(vec![(Chase { pages: pages_big }, 1)]),
+                0.20,
+                64_000,
+                seed,
+            ),
             // streamcluster-like stencil.
-            _ => mix(one(vec![(Stencil { row_lines: 72, rows: 96 * scale }, 1)]), 0.24, 64_000, seed),
+            _ => mix(
+                one(vec![(
+                    Stencil {
+                        row_lines: 72,
+                        rows: 96 * scale,
+                    },
+                    1,
+                )]),
+                0.24,
+                64_000,
+                seed,
+            ),
         },
         SuiteId::Gkb5 => match idx % 4 {
             0 => mix(
-                one(vec![(AlternatingStream { pages: pages_big, period_pages: 48 }, 1)]),
+                one(vec![(
+                    AlternatingStream {
+                        pages: pages_big,
+                        period_pages: 48,
+                    },
+                    1,
+                )]),
                 0.26,
                 16_000,
                 seed,
             ),
-            1 => mix(one(vec![(TwinStream { pages: pages_mid }, 1)]), 0.26, 32_000, seed),
+            1 => mix(
+                one(vec![(TwinStream { pages: pages_mid }, 1)]),
+                0.26,
+                32_000,
+                seed,
+            ),
             2 => mix(
                 one(vec![
                     (Chase { pages: pages_mid }, 1),
-                    (Stream { stride_lines: 1, pages: pages_mid }, 1),
+                    (
+                        Stream {
+                            stride_lines: 1,
+                            pages: pages_mid,
+                        },
+                        1,
+                    ),
                 ]),
                 0.24,
                 32_000,
@@ -290,17 +434,32 @@ fn template(suite: SuiteId, idx: usize, seed: u64) -> GenParams {
             let mut p = match idx % 3 {
                 0 => mix(
                     vec![
-                        Phase { components: vec![(SegmentedStream { pages: pages_mid }, 1)] },
-                        Phase { components: vec![(Chase { pages: pages_mid }, 1)] },
+                        Phase {
+                            components: vec![(SegmentedStream { pages: pages_mid }, 1)],
+                        },
+                        Phase {
+                            components: vec![(Chase { pages: pages_mid }, 1)],
+                        },
                     ],
                     0.26,
                     8_000,
                     seed,
                 ),
-                1 => mix(one(vec![(Chase { pages: pages_big }, 1)]), 0.22, 8_000, seed),
+                1 => mix(
+                    one(vec![(Chase { pages: pages_big }, 1)]),
+                    0.22,
+                    8_000,
+                    seed,
+                ),
                 _ => mix(
                     one(vec![
-                        (Stream { stride_lines: 1, pages: pages_mid }, 1),
+                        (
+                            Stream {
+                                stride_lines: 1,
+                                pages: pages_mid,
+                            },
+                            1,
+                        ),
                         (SegmentedStream { pages: pages_mid }, 2),
                     ]),
                     0.26,
@@ -312,12 +471,50 @@ fn template(suite: SuiteId, idx: usize, seed: u64) -> GenParams {
             p
         }
         SuiteId::QmmFp => match idx % 3 {
-            0 => mix(one(vec![(Stream { stride_lines: 2, pages: pages_big }, 1)]), 0.30, 12_000, seed),
-            1 => mix(one(vec![(Stencil { row_lines: 96, rows: 64 * scale }, 1)]), 0.28, 12_000, seed),
+            0 => mix(
+                one(vec![(
+                    Stream {
+                        stride_lines: 2,
+                        pages: pages_big,
+                    },
+                    1,
+                )]),
+                0.30,
+                12_000,
+                seed,
+            ),
+            1 => mix(
+                one(vec![(
+                    Stencil {
+                        row_lines: 96,
+                        rows: 64 * scale,
+                    },
+                    1,
+                )]),
+                0.28,
+                12_000,
+                seed,
+            ),
             _ => mix(
                 vec![
-                    Phase { components: vec![(Stream { stride_lines: 1, pages: pages_mid }, 1)] },
-                    Phase { components: vec![(Stencil { row_lines: 80, rows: 64 }, 1)] },
+                    Phase {
+                        components: vec![(
+                            Stream {
+                                stride_lines: 1,
+                                pages: pages_mid,
+                            },
+                            1,
+                        )],
+                    },
+                    Phase {
+                        components: vec![(
+                            Stencil {
+                                row_lines: 80,
+                                rows: 64,
+                            },
+                            1,
+                        )],
+                    },
                 ],
                 0.28,
                 12_000,
@@ -380,7 +577,10 @@ fn registry() -> &'static [Suite] {
 
 /// The suite registry entry for `id`.
 pub fn suite(id: SuiteId) -> &'static Suite {
-    registry().iter().find(|s| s.id == id).expect("all suites registered")
+    registry()
+        .iter()
+        .find(|s| s.id == id)
+        .expect("all suites registered")
 }
 
 /// All 218 seen memory-intensive workloads.
@@ -418,7 +618,10 @@ pub fn representative_seen(per_suite: usize) -> Vec<&'static Workload> {
         .flat_map(|s| {
             // The first k workloads of a suite instantiate templates
             // 0..k, so a prefix sample is template-stratified.
-            s.workloads.iter().filter(|w| w.seen && w.intensive).take(per_suite)
+            s.workloads
+                .iter()
+                .filter(|w| w.seen && w.intensive)
+                .take(per_suite)
         })
         .collect()
 }
@@ -428,7 +631,10 @@ pub fn representative_unseen(per_suite: usize) -> Vec<&'static Workload> {
     registry()
         .iter()
         .flat_map(|s| {
-            s.workloads.iter().filter(|w| !w.seen && w.intensive).take(per_suite)
+            s.workloads
+                .iter()
+                .filter(|w| !w.seen && w.intensive)
+                .take(per_suite)
         })
         .collect()
 }
@@ -438,7 +644,11 @@ pub fn random_mixes(n_mixes: usize, cores: usize, seed: u64) -> Vec<Vec<&'static
     let pool = seen_workloads();
     let mut rng = pagecross_types::Rng64::new(seed);
     (0..n_mixes)
-        .map(|_| (0..cores).map(|_| pool[rng.below(pool.len() as u64) as usize]).collect())
+        .map(|_| {
+            (0..cores)
+                .map(|_| pool[rng.below(pool.len() as u64) as usize])
+                .collect()
+        })
         .collect()
 }
 
@@ -455,8 +665,11 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let all: Vec<&str> =
-            registry().iter().flat_map(|s| s.workloads.iter()).map(|w| w.name.as_str()).collect();
+        let all: Vec<&str> = registry()
+            .iter()
+            .flat_map(|s| s.workloads.iter())
+            .map(|w| w.name.as_str())
+            .collect();
         let set: std::collections::HashSet<&str> = all.iter().copied().collect();
         assert_eq!(all.len(), set.len());
     }
@@ -486,8 +699,16 @@ mod tests {
 
     #[test]
     fn qmm_has_short_lengths() {
-        let q = suite(SuiteId::QmmInt).workloads().first().unwrap().default_lengths();
-        let s = suite(SuiteId::Spec06).workloads().first().unwrap().default_lengths();
+        let q = suite(SuiteId::QmmInt)
+            .workloads()
+            .first()
+            .unwrap()
+            .default_lengths();
+        let s = suite(SuiteId::Spec06)
+            .workloads()
+            .first()
+            .unwrap()
+            .default_lengths();
         assert!(q.1 < s.1);
     }
 

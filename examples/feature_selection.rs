@@ -13,9 +13,7 @@
 
 use pagecross::cpu::{PgcPolicyKind, PrefetcherKind, SimulationBuilder};
 use pagecross::moka::filter::FilterConfig;
-use pagecross::moka::selection::{
-    candidate_pool, select_features, CandidateFeature, FeatureSet,
-};
+use pagecross::moka::selection::{candidate_pool, select_features, CandidateFeature, FeatureSet};
 use pagecross::moka::{ProgramFeature, SystemFeature};
 use pagecross::types::geomean;
 use pagecross::workloads::representative_seen;
@@ -75,7 +73,11 @@ fn main() {
         ]
     };
 
-    println!("searching over {} candidates x {} workloads…", pool.len(), workloads.len());
+    println!(
+        "searching over {} candidates x {} workloads…",
+        pool.len(),
+        workloads.len()
+    );
     let out = select_features(&pool, evaluate, 0.003);
 
     println!("\nisolated ranking (top 8):");

@@ -20,9 +20,17 @@ use pagecross::types::{Decision, PrefetchCandidate, SystemSnapshot, VirtAddr};
 /// phase-conditional structure MOKA's system features are built to exploit.
 fn episode(filter: &mut PageCrossFilter) -> (u64, u64) {
     // Phase A: high sTLB miss rate (the StlbMissRate feature gates on).
-    let snap_hot = SystemSnapshot { stlb_miss_rate: 0.3, stlb_mpki: 0.5, ..Default::default() };
+    let snap_hot = SystemSnapshot {
+        stlb_miss_rate: 0.3,
+        stlb_mpki: 0.5,
+        ..Default::default()
+    };
     // Phase B: quiet TLB with moderate MPKI (both sTLB features gate off).
-    let snap_cold = SystemSnapshot { stlb_miss_rate: 0.01, stlb_mpki: 3.0, ..Default::default() };
+    let snap_cold = SystemSnapshot {
+        stlb_miss_rate: 0.01,
+        stlb_mpki: 3.0,
+        ..Default::default()
+    };
     let mut good_issued = 0;
     let mut bad_issued = 0;
     for round in 0..400u64 {
@@ -108,8 +116,7 @@ fn main() {
             vec![SystemFeature::StlbMpki, SystemFeature::StlbMissRate],
         ),
     );
-    let mut static_cfg =
-        FilterConfig::with_features(vec![ProgramFeature::Delta], vec![]);
+    let mut static_cfg = FilterConfig::with_features(vec![ProgramFeature::Delta], vec![]);
     static_cfg.adaptive = false;
     static_cfg.static_threshold = 0;
     show("Delta, static threshold", static_cfg);

@@ -9,8 +9,8 @@
 //! cargo run --release --example graph_analytics
 //! ```
 
-use pagecross::cpu::{PgcPolicyKind, PrefetcherKind, SimulationBuilder};
 use pagecross::cpu::trace::TraceFactory;
+use pagecross::cpu::{PgcPolicyKind, PrefetcherKind, SimulationBuilder};
 use pagecross::types::geomean;
 use pagecross::workloads::{suite, SuiteId};
 
@@ -25,12 +25,23 @@ fn run(pf: PrefetcherKind, policy: PgcPolicyKind, w: &pagecross::workloads::Work
 }
 
 fn main() {
-    let workloads: Vec<_> =
-        suite(SuiteId::Gap).workloads().iter().filter(|w| w.is_seen()).take(8).collect();
+    let workloads: Vec<_> = suite(SuiteId::Gap)
+        .workloads()
+        .iter()
+        .filter(|w| w.is_seen())
+        .take(8)
+        .collect();
 
-    for pf in [PrefetcherKind::Berti, PrefetcherKind::Ipcp, PrefetcherKind::Bop] {
+    for pf in [
+        PrefetcherKind::Berti,
+        PrefetcherKind::Ipcp,
+        PrefetcherKind::Bop,
+    ] {
         println!("== L1D prefetcher: {pf:?} ==");
-        println!("{:<12} {:>16} {:>16}", "workload", "Permit vs Discard", "DRIPPER vs Discard");
+        println!(
+            "{:<12} {:>16} {:>16}",
+            "workload", "Permit vs Discard", "DRIPPER vs Discard"
+        );
         let mut permit_ratios = Vec::new();
         let mut dripper_ratios = Vec::new();
         for w in &workloads {

@@ -8,17 +8,13 @@
 //! cargo run --release --example large_pages
 //! ```
 
-use pagecross::cpu::{BoundaryMode, PgcPolicyKind, PrefetcherKind, SimulationBuilder};
 use pagecross::cpu::trace::TraceFactory;
+use pagecross::cpu::{BoundaryMode, PgcPolicyKind, PrefetcherKind, SimulationBuilder};
 use pagecross::mem::HugePagePolicy;
 use pagecross::types::geomean;
 use pagecross::workloads::representative_seen;
 
-fn run(
-    policy: PgcPolicyKind,
-    boundary: BoundaryMode,
-    w: &pagecross::workloads::Workload,
-) -> f64 {
+fn run(policy: PgcPolicyKind, boundary: BoundaryMode, w: &pagecross::workloads::Workload) -> f64 {
     SimulationBuilder::new()
         .prefetcher(PrefetcherKind::Berti)
         .pgc_policy(policy)

@@ -12,11 +12,21 @@ fn main() {
     // Pick a GAP-like graph workload: large footprint, heavy TLB pressure —
     // the kind of workload where the page-cross decision actually matters.
     let workload = &suite(SuiteId::Gap).workloads()[0];
-    println!("workload: {}", pagecross::cpu::trace::TraceFactory::name(workload));
-    println!("{:<14} {:>7} {:>10} {:>10} {:>10} {:>10}", "policy", "IPC", "L1D MPKI", "sTLB MPKI", "PGC issued", "spec walks");
+    println!(
+        "workload: {}",
+        pagecross::cpu::trace::TraceFactory::name(workload)
+    );
+    println!(
+        "{:<14} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "policy", "IPC", "L1D MPKI", "sTLB MPKI", "PGC issued", "spec walks"
+    );
 
     let mut baseline_ipc = None;
-    for policy in [PgcPolicyKind::DiscardPgc, PgcPolicyKind::PermitPgc, PgcPolicyKind::Dripper] {
+    for policy in [
+        PgcPolicyKind::DiscardPgc,
+        PgcPolicyKind::PermitPgc,
+        PgcPolicyKind::Dripper,
+    ] {
         let report = SimulationBuilder::new()
             .prefetcher(PrefetcherKind::Berti)
             .pgc_policy(policy)
@@ -38,7 +48,8 @@ fn main() {
                 let base = baseline_ipc.expect("baseline ran first");
                 println!(
                     "{:<14}   -> {:+.2}% vs Discard PGC",
-                    "", (report.ipc() / base - 1.0) * 100.0
+                    "",
+                    (report.ipc() / base - 1.0) * 100.0
                 );
             }
         }

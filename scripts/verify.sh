@@ -40,4 +40,22 @@ cargo build --release --offline --workspace
 echo "== verify: offline test suite =="
 cargo test -q --offline --workspace
 
+echo "== verify: record -> replay round trip =="
+# Record a short trace, replay it, and check the replay output is
+# bit-identical to the direct run — offline, in a throwaway directory.
+PAGECROSS="${CARGO_TARGET_DIR:-target}/release/pagecross"
+TRACE_DIR="$SCRATCH/traces"
+mkdir -p "$TRACE_DIR"
+"$PAGECROSS" record --workload qmm_int.s00 --warmup 5000 --instructions 20000 \
+    --out "$TRACE_DIR/qmm_int.s00.pct"
+"$PAGECROSS" run --workload qmm_int.s00 --warmup 5000 --instructions 20000 \
+    > "$SCRATCH/direct.txt"
+"$PAGECROSS" replay --trace "$TRACE_DIR/qmm_int.s00.pct" \
+    --warmup 5000 --instructions 20000 > "$SCRATCH/replay.txt"
+if ! diff -u "$SCRATCH/direct.txt" "$SCRATCH/replay.txt"; then
+    echo "verify: FAIL — replay output differs from the direct run" >&2
+    exit 1
+fi
+"$PAGECROSS" campaign --trace-dir "$TRACE_DIR" --jobs 2 > /dev/null
+
 echo "== verify: OK =="

@@ -17,8 +17,12 @@ fn builder() -> SimulationBuilder {
 #[test]
 fn permit_beats_discard_on_contiguous_stream() {
     let stream = &suite(SuiteId::Spec06).workloads()[0];
-    let discard = builder().pgc_policy(PgcPolicyKind::DiscardPgc).run_workload(stream);
-    let permit = builder().pgc_policy(PgcPolicyKind::PermitPgc).run_workload(stream);
+    let discard = builder()
+        .pgc_policy(PgcPolicyKind::DiscardPgc)
+        .run_workload(stream);
+    let permit = builder()
+        .pgc_policy(PgcPolicyKind::PermitPgc)
+        .run_workload(stream);
     assert!(
         permit.ipc() > discard.ipc() * 1.005,
         "permit {} vs discard {}",
@@ -34,8 +38,12 @@ fn permit_beats_discard_on_contiguous_stream() {
 #[test]
 fn discard_beats_permit_on_segmented_graph() {
     let hostile = &suite(SuiteId::Gap).workloads()[1];
-    let discard = builder().pgc_policy(PgcPolicyKind::DiscardPgc).run_workload(hostile);
-    let permit = builder().pgc_policy(PgcPolicyKind::PermitPgc).run_workload(hostile);
+    let discard = builder()
+        .pgc_policy(PgcPolicyKind::DiscardPgc)
+        .run_workload(hostile);
+    let permit = builder()
+        .pgc_policy(PgcPolicyKind::PermitPgc)
+        .run_workload(hostile);
     assert!(
         discard.ipc() > permit.ipc() * 1.01,
         "discard {} vs permit {}",
@@ -62,16 +70,31 @@ fn dripper_beats_both_static_policies_in_geomean() {
     let mut permit_r = vec![];
     let mut dripper_r = vec![];
     for w in set {
-        let d = builder().pgc_policy(PgcPolicyKind::DiscardPgc).run_workload(w).ipc();
-        let p = builder().pgc_policy(PgcPolicyKind::PermitPgc).run_workload(w).ipc();
-        let x = builder().pgc_policy(PgcPolicyKind::Dripper).run_workload(w).ipc();
+        let d = builder()
+            .pgc_policy(PgcPolicyKind::DiscardPgc)
+            .run_workload(w)
+            .ipc();
+        let p = builder()
+            .pgc_policy(PgcPolicyKind::PermitPgc)
+            .run_workload(w)
+            .ipc();
+        let x = builder()
+            .pgc_policy(PgcPolicyKind::Dripper)
+            .run_workload(w)
+            .ipc();
         permit_r.push(p / d);
         dripper_r.push(x / d);
     }
     let gp = geomean(&permit_r).unwrap();
     let gd = geomean(&dripper_r).unwrap();
-    assert!(gd > gp, "dripper geomean {gd} must beat permit geomean {gp}");
-    assert!(gd > 0.999, "dripper must not lose to discard in geomean, got {gd}");
+    assert!(
+        gd > gp,
+        "dripper geomean {gd} must beat permit geomean {gp}"
+    );
+    assert!(
+        gd > 0.999,
+        "dripper must not lose to discard in geomean, got {gd}"
+    );
 }
 
 /// Discard-PTW sits between: no speculative walks ever, but some
@@ -82,10 +105,17 @@ fn discard_ptw_issues_resident_only() {
     // TLB-resident; a first-touch stream would issue nothing under this
     // policy.
     let w = &suite(SuiteId::Gap).workloads()[0];
-    let r = builder().pgc_policy(PgcPolicyKind::DiscardPtw).run_workload(w);
+    let r = builder()
+        .pgc_policy(PgcPolicyKind::DiscardPtw)
+        .run_workload(w);
     assert_eq!(r.walks.prefetch_walks, 0);
-    assert!(r.prefetch.pgc_issued > 0, "resident translations allow some issues");
-    let permit = builder().pgc_policy(PgcPolicyKind::PermitPgc).run_workload(w);
+    assert!(
+        r.prefetch.pgc_issued > 0,
+        "resident translations allow some issues"
+    );
+    let permit = builder()
+        .pgc_policy(PgcPolicyKind::PermitPgc)
+        .run_workload(w);
     assert!(r.prefetch.pgc_issued < permit.prefetch.pgc_issued);
 }
 
@@ -93,14 +123,25 @@ fn discard_ptw_issues_resident_only() {
 /// geomean over a friendly+hostile pair.
 #[test]
 fn dripper_beats_ppf() {
-    let set =
-        [&suite(SuiteId::Spec06).workloads()[3], &suite(SuiteId::Gap).workloads()[1]];
+    let set = [
+        &suite(SuiteId::Spec06).workloads()[3],
+        &suite(SuiteId::Gap).workloads()[1],
+    ];
     let mut ppf_r = vec![];
     let mut dripper_r = vec![];
     for w in set {
-        let d = builder().pgc_policy(PgcPolicyKind::DiscardPgc).run_workload(w).ipc();
-        let p = builder().pgc_policy(PgcPolicyKind::Ppf).run_workload(w).ipc();
-        let x = builder().pgc_policy(PgcPolicyKind::Dripper).run_workload(w).ipc();
+        let d = builder()
+            .pgc_policy(PgcPolicyKind::DiscardPgc)
+            .run_workload(w)
+            .ipc();
+        let p = builder()
+            .pgc_policy(PgcPolicyKind::Ppf)
+            .run_workload(w)
+            .ipc();
+        let x = builder()
+            .pgc_policy(PgcPolicyKind::Dripper)
+            .run_workload(w)
+            .ipc();
         ppf_r.push(p / d);
         dripper_r.push(x / d);
     }
@@ -113,7 +154,11 @@ fn dripper_beats_ppf() {
 #[test]
 fn every_policy_prefetcher_combination_runs() {
     let w = &suite(SuiteId::Gkb5).workloads()[0];
-    for pf in [PrefetcherKind::Berti, PrefetcherKind::Ipcp, PrefetcherKind::Bop] {
+    for pf in [
+        PrefetcherKind::Berti,
+        PrefetcherKind::Ipcp,
+        PrefetcherKind::Bop,
+    ] {
         for policy in [
             PgcPolicyKind::PermitPgc,
             PgcPolicyKind::DiscardPgc,
@@ -131,7 +176,11 @@ fn every_policy_prefetcher_combination_runs() {
                 .instructions(6_000)
                 .run_workload(w);
             assert_eq!(r.core.instructions, 6_000, "{pf:?}/{policy:?}");
-            assert!(r.ipc() > 0.0 && r.ipc() < 6.0, "{pf:?}/{policy:?}: {}", r.ipc());
+            assert!(
+                r.ipc() > 0.0 && r.ipc() < 6.0,
+                "{pf:?}/{policy:?}: {}",
+                r.ipc()
+            );
         }
     }
 }
@@ -143,8 +192,14 @@ fn l2_prefetchers_produce_l2_fills() {
     // Disable the L1D prefetcher so demand misses reach the L2 and train
     // the L2C prefetcher (with Berti active the stream has no L2 traffic).
     let builder = || builder().prefetcher(PrefetcherKind::None);
-    let without = builder().l2_prefetcher(L2PrefetcherKind::None).run_workload(w);
-    for l2 in [L2PrefetcherKind::Spp, L2PrefetcherKind::Ipcp, L2PrefetcherKind::Bop] {
+    let without = builder()
+        .l2_prefetcher(L2PrefetcherKind::None)
+        .run_workload(w);
+    for l2 in [
+        L2PrefetcherKind::Spp,
+        L2PrefetcherKind::Ipcp,
+        L2PrefetcherKind::Bop,
+    ] {
         let with = builder().l2_prefetcher(l2).run_workload(w);
         assert!(
             with.l2c.prefetch_fills > without.l2c.prefetch_fills,
@@ -186,16 +241,26 @@ fn huge_pages_change_crossing_classification() {
 #[test]
 fn multicore_mix_weighted_speedup() {
     let mixes = random_mixes(1, 4, 7);
-    let ws: Vec<&dyn pagecross::cpu::TraceFactory> =
-        mixes[0].iter().map(|w| *w as &dyn pagecross::cpu::TraceFactory).collect();
-    let m = SimulationBuilder::new().warmup(3_000).instructions(8_000).run_mix(&ws);
+    let ws: Vec<&dyn pagecross::cpu::TraceFactory> = mixes[0]
+        .iter()
+        .map(|w| *w as &dyn pagecross::cpu::TraceFactory)
+        .collect();
+    let m = SimulationBuilder::new()
+        .warmup(3_000)
+        .instructions(8_000)
+        .run_mix(&ws);
     assert_eq!(m.cores.len(), 4);
     for c in &m.cores {
         assert_eq!(c.instructions, 8_000);
     }
     let iso: Vec<f64> = m.ipcs(); // self-relative: weighted IPC == n
-    let wipc = m.weighted_ipc(&iso);
+    let wipc = m.weighted_ipc(&iso).expect("one isolation IPC per core");
     assert!((wipc - 4.0).abs() < 1e-9);
+    assert_eq!(
+        m.weighted_ipc(&iso[..3]),
+        None,
+        "length mismatch is rejected, not summed"
+    );
 }
 
 /// Reports are reproducible end to end (same seed, same workload).

@@ -116,7 +116,11 @@ const GOLDENS: &[Golden] = &[
 fn run(g: &Golden) -> Report {
     use pagecross::cpu::trace::TraceFactory;
     let w = &suite(g.suite).workloads()[g.index];
-    assert_eq!(w.name(), g.workload, "registry order changed; regenerate goldens");
+    assert_eq!(
+        w.name(),
+        g.workload,
+        "registry order changed; regenerate goldens"
+    );
     SimulationBuilder::new()
         .prefetcher(g.prefetcher)
         .pgc_policy(g.policy)
@@ -132,17 +136,40 @@ fn golden_counters_are_stable() {
         let tag = format!("{} / {:?} / {:?}", g.workload, g.prefetcher, g.policy);
         assert_eq!(r.core.instructions, 20_000, "{tag}: measured length");
         assert_eq!(r.core.cycles, g.cycles, "{tag}: cycles");
-        assert_eq!(r.l1d.demand_accesses, g.l1d_demand_accesses, "{tag}: L1D accesses");
-        assert_eq!(r.l1d.demand_misses, g.l1d_demand_misses, "{tag}: L1D misses");
+        assert_eq!(
+            r.l1d.demand_accesses, g.l1d_demand_accesses,
+            "{tag}: L1D accesses"
+        );
+        assert_eq!(
+            r.l1d.demand_misses, g.l1d_demand_misses,
+            "{tag}: L1D misses"
+        );
         assert_eq!(r.dtlb.misses, g.dtlb_misses, "{tag}: dTLB misses");
         assert_eq!(r.stlb.misses, g.stlb_misses, "{tag}: sTLB misses");
-        assert_eq!(r.prefetch.pgc_candidates, g.pgc_candidates, "{tag}: PGC candidates");
-        assert_eq!(r.prefetch.pgc_issued, g.pgc_issued, "{tag}: DRIPPER/policy issues");
-        assert_eq!(r.prefetch.pgc_discarded, g.pgc_discarded, "{tag}: DRIPPER/policy discards");
+        assert_eq!(
+            r.prefetch.pgc_candidates, g.pgc_candidates,
+            "{tag}: PGC candidates"
+        );
+        assert_eq!(
+            r.prefetch.pgc_issued, g.pgc_issued,
+            "{tag}: DRIPPER/policy issues"
+        );
+        assert_eq!(
+            r.prefetch.pgc_discarded, g.pgc_discarded,
+            "{tag}: DRIPPER/policy discards"
+        );
         assert_eq!(r.walks.demand_walks, g.demand_walks, "{tag}: demand walks");
         assert_eq!(format!("{:.6}", r.ipc()), g.ipc, "{tag}: IPC");
-        assert_eq!(format!("{:.6}", r.l1d_mpki()), g.l1d_mpki, "{tag}: L1D MPKI");
-        assert_eq!(format!("{:.6}", r.dtlb_mpki()), g.dtlb_mpki, "{tag}: dTLB MPKI");
+        assert_eq!(
+            format!("{:.6}", r.l1d_mpki()),
+            g.l1d_mpki,
+            "{tag}: L1D MPKI"
+        );
+        assert_eq!(
+            format!("{:.6}", r.dtlb_mpki()),
+            g.dtlb_mpki,
+            "{tag}: dTLB MPKI"
+        );
     }
 }
 
@@ -153,4 +180,37 @@ fn golden_counters_are_stable() {
 fn repeat_runs_are_bit_identical() {
     let g = &GOLDENS[0];
     assert_eq!(run(g), run(g));
+}
+
+/// Recording a workload to a `.pct` file and replaying it through the same
+/// simulator configuration reproduces the direct run's report bit-for-bit,
+/// for every golden workload. This is the contract that makes traces a
+/// drop-in substitute for synthetic generators in campaigns.
+#[test]
+fn replayed_traces_reproduce_golden_counters() {
+    use pagecross::trace::{record, TraceReplay};
+
+    let dir = std::env::temp_dir().join(format!("pct-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp trace dir");
+    for g in GOLDENS {
+        let w = &suite(g.suite).workloads()[g.index];
+        let path = dir.join(format!("{}.pct", g.workload));
+        // Record exactly the instructions the golden run consumes:
+        // warmup 5 000 + measured 20 000.
+        record(w, 25_000, w.params().seed, &path).expect("recording the golden workload");
+        let replay = TraceReplay::open(&path).expect("freshly recorded trace");
+        let replayed = SimulationBuilder::new()
+            .prefetcher(g.prefetcher)
+            .pgc_policy(g.policy)
+            .warmup(5_000)
+            .instructions(20_000)
+            .run_workload(&replay);
+        let direct = run(g);
+        assert_eq!(
+            replayed, direct,
+            "{}: replayed report must be bit-identical to the direct run",
+            g.workload
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -3,8 +3,8 @@
 //! in-repo harness ([`pagecross::types::prop`]).
 
 use pagecross::mem::{
-    Cache, CacheConfig, FillKind, FrameAllocator, HugePagePolicy, Mshr, PageWalker, PscConfig,
-    Tlb, TlbConfig, Translation, Vmem,
+    Cache, CacheConfig, FillKind, FrameAllocator, HugePagePolicy, Mshr, PageWalker, PscConfig, Tlb,
+    TlbConfig, Translation, Vmem,
 };
 use pagecross::types::prop::{check, vec_of, Config};
 use pagecross::types::{prop_assert, prop_assert_eq};
@@ -20,7 +20,11 @@ struct RefCache {
 
 impl RefCache {
     fn new(sets: u64, ways: usize) -> Self {
-        Self { sets, ways, resident: vec![Vec::new(); sets as usize] }
+        Self {
+            sets,
+            ways,
+            resident: vec![Vec::new(); sets as usize],
+        }
     }
 
     fn set(&mut self, line: u64) -> &mut Vec<u64> {
@@ -46,7 +50,11 @@ impl RefCache {
             set.push(t);
             return None;
         }
-        let victim = if set.len() == ways { Some(set.remove(0)) } else { None };
+        let victim = if set.len() == ways {
+            Some(set.remove(0))
+        } else {
+            None
+        };
         set.push(line);
         victim
     }
@@ -59,7 +67,9 @@ struct RefTlb {
 
 impl RefTlb {
     fn new(sets: u64, ways: usize) -> Self {
-        Self { inner: RefCache::new(sets, ways) }
+        Self {
+            inner: RefCache::new(sets, ways),
+        }
     }
 }
 
@@ -80,7 +90,12 @@ const REF_MSHR_FULL_PENALTY: u64 = 8;
 
 impl RefMshr {
     fn new(capacity: usize) -> Self {
-        Self { capacity, inflight: Vec::new(), merges: 0, full_stalls: 0 }
+        Self {
+            capacity,
+            inflight: Vec::new(),
+            merges: 0,
+            full_stalls: 0,
+        }
     }
 
     fn expire(&mut self, now: u64) {
@@ -89,7 +104,11 @@ impl RefMshr {
 
     fn lookup(&mut self, line: u64, now: u64) -> Option<u64> {
         self.expire(now);
-        let hit = self.inflight.iter().find(|&&(l, _, _)| l == line).map(|&(_, c, _)| c);
+        let hit = self
+            .inflight
+            .iter()
+            .find(|&&(l, _, _)| l == line)
+            .map(|&(_, c, _)| c);
         if hit.is_some() {
             self.merges += 1;
         }
@@ -133,7 +152,12 @@ fn cache_matches_reference_model() {
             // 8 sets x 2 ways.
             let mut dut = Cache::new(
                 "dut",
-                CacheConfig { size_bytes: 1024, ways: 2, latency: 1, mshr_entries: 4 },
+                CacheConfig {
+                    size_bytes: 1024,
+                    ways: 2,
+                    latency: 1,
+                    mshr_entries: 4,
+                },
             );
             let mut model = RefCache::new(8, 2);
             for &(line, op) in ops {
@@ -145,8 +169,7 @@ fn cache_matches_reference_model() {
                         prop_assert_eq!(dut_hit, model_hit, "hit/miss mismatch on {}", line);
                     }
                     _ => {
-                        let dut_victim =
-                            dut.fill(l, FillKind::Demand, false).map(|e| e.line.raw());
+                        let dut_victim = dut.fill(l, FillKind::Demand, false).map(|e| e.line.raw());
                         let model_victim = model.fill(line);
                         prop_assert_eq!(dut_victim, model_victim, "victim mismatch on {}", line);
                     }
@@ -166,7 +189,14 @@ fn tlb_matches_reference_model() {
         |rng| vec_of(rng, 1, 400, |r| (r.below(64), r.below(2) as u8)),
         |ops| {
             // 4 sets x 4 ways = 16 entries.
-            let mut dut = Tlb::new("dut", TlbConfig { entries: 16, ways: 4, latency: 1 });
+            let mut dut = Tlb::new(
+                "dut",
+                TlbConfig {
+                    entries: 16,
+                    ways: 4,
+                    latency: 1,
+                },
+            );
             let mut model = RefTlb::new(4, 4);
             for &(vpn, op) in ops {
                 let va = VirtAddr::new(vpn << 12);
@@ -178,7 +208,11 @@ fn tlb_matches_reference_model() {
                     }
                     _ => {
                         dut.fill(
-                            Translation { vpn, pfn: vpn + 100, size: PageSize::Base4K },
+                            Translation {
+                                vpn,
+                                pfn: vpn + 100,
+                                size: PageSize::Base4K,
+                            },
                             false,
                         );
                         model.inner.fill(vpn);
@@ -201,7 +235,12 @@ fn fill_kind_does_not_change_placement() {
         &Config::cases(48),
         |rng| vec_of(rng, 1, 300, |r| r.below(64)),
         |ops| {
-            let cfg = CacheConfig { size_bytes: 1024, ways: 2, latency: 1, mshr_entries: 4 };
+            let cfg = CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                latency: 1,
+                mshr_entries: 4,
+            };
             let mut a = Cache::new("a", cfg);
             let mut b = Cache::new("b", cfg);
             for &line in ops {
@@ -227,7 +266,14 @@ fn mshr_matches_reference_model() {
         &Config::cases(48),
         // Small time steps relative to the 25-cycle fill latency so the
         // file regularly fills up and exercises the replacement path.
-        |rng| vec_of(rng, 1, 300, |r| ((r.below(16), r.below(8)), (r.below(3) as u8, r.below(2) == 1))),
+        |rng| {
+            vec_of(rng, 1, 300, |r| {
+                (
+                    (r.below(16), r.below(8)),
+                    (r.below(3) as u8, r.below(2) == 1),
+                )
+            })
+        },
         |ops| {
             let mut dut = Mshr::new(6);
             let mut model = RefMshr::new(6);
@@ -246,8 +292,11 @@ fn mshr_matches_reference_model() {
                         let dut_done = dut.allocate_kind(l, now, completes, demand);
                         let model_done = model.allocate(line, now, completes, demand);
                         prop_assert_eq!(
-                            dut_done, model_done,
-                            "completion mismatch on {} @{}", line, now
+                            dut_done,
+                            model_done,
+                            "completion mismatch on {} @{}",
+                            line,
+                            now
                         );
                     }
                 }
@@ -278,7 +327,12 @@ fn walker_matches_flat_reference_map() {
         |vas| {
             let mut fa = FrameAllocator::new(4u64 << 30, 23);
             let mut w = PageWalker::new(
-                PscConfig { l5_entries: 1, l4_entries: 2, l3_entries: 8, l2_entries: 32 },
+                PscConfig {
+                    l5_entries: 1,
+                    l4_entries: 2,
+                    l3_entries: 8,
+                    l2_entries: 32,
+                },
                 &mut fa,
             );
             let mut vm = Vmem::new(HugePagePolicy::None, 29);
@@ -288,19 +342,27 @@ fn walker_matches_flat_reference_map() {
                 let vpn = raw >> 12;
                 let plan = w.walk(va, &mut vm, &mut fa);
                 prop_assert!((1..=5).contains(&plan.refs.len()));
-                prop_assert_eq!(plan.translation.vpn, vpn, "walk must translate its own page");
+                prop_assert_eq!(
+                    plan.translation.vpn,
+                    vpn,
+                    "walk must translate its own page"
+                );
                 match flat.get(&vpn) {
                     Some(&pfn) => {
                         prop_assert_eq!(
-                            plan.translation.pfn, pfn,
-                            "walk of vpn {} changed an established translation", vpn
+                            plan.translation.pfn,
+                            pfn,
+                            "walk of vpn {} changed an established translation",
+                            vpn
                         );
                         // A revisited 4 KB page has a warm PSC-L2 entry (the
                         // PSCs are large enough for this VPN universe), so
                         // at most the leaf PT reference plus one level.
                         prop_assert!(
                             plan.refs.len() <= 2,
-                            "repeat walk of vpn {} took {} refs", vpn, plan.refs.len()
+                            "repeat walk of vpn {} took {} refs",
+                            vpn,
+                            plan.refs.len()
                         );
                     }
                     None => {

@@ -15,7 +15,12 @@ use pagecross::types::{LineAddr, PageSize, Rng64, SatCounter, VirtAddr};
 fn sat_counter_stays_in_range() {
     check(
         &Config::cases(64),
-        |rng| (rng.range(2, 8) as u32, vec_of(rng, 0, 200, |r| r.range(0, 40) as i16 - 20)),
+        |rng| {
+            (
+                rng.range(2, 8) as u32,
+                vec_of(rng, 0, 200, |r| r.range(0, 40) as i16 - 20),
+            )
+        },
         |(bits, ops)| {
             let mut c = SatCounter::new(*bits);
             for &op in ops {
@@ -53,7 +58,12 @@ fn cache_invariants() {
         |ops| {
             let mut c = Cache::new(
                 "prop",
-                CacheConfig { size_bytes: 4096, ways: 4, latency: 1, mshr_entries: 4 },
+                CacheConfig {
+                    size_bytes: 4096,
+                    ways: 4,
+                    latency: 1,
+                    mshr_entries: 4,
+                },
             );
             let capacity = (c.num_sets() as usize) * c.num_ways();
             for &(line, op) in ops {
@@ -88,9 +98,23 @@ fn tlb_invariants() {
         &Config::cases(64),
         |rng| vec_of(rng, 1, 200, |r| r.below(512)),
         |vpns| {
-            let mut t = Tlb::new("prop", TlbConfig { entries: 16, ways: 4, latency: 1 });
+            let mut t = Tlb::new(
+                "prop",
+                TlbConfig {
+                    entries: 16,
+                    ways: 4,
+                    latency: 1,
+                },
+            );
             for &vpn in vpns {
-                t.fill(Translation { vpn, pfn: vpn + 7, size: PageSize::Base4K }, false);
+                t.fill(
+                    Translation {
+                        vpn,
+                        pfn: vpn + 7,
+                        size: PageSize::Base4K,
+                    },
+                    false,
+                );
                 let va = VirtAddr::new(vpn << 12);
                 prop_assert!(t.peek(va), "freshly filled translation must be visible");
                 prop_assert!(t.occupancy() <= 16);
@@ -131,9 +155,16 @@ fn update_buffer_invariants() {
         |lines| {
             let mut b = UpdateBuffer::new(4);
             for &line in lines {
-                b.insert(UpdateEntry { line, indices: vec![1], sf_mask: 0 });
+                b.insert(UpdateEntry {
+                    line,
+                    indices: vec![1],
+                    sf_mask: 0,
+                });
                 prop_assert!(b.len() <= 4);
-                prop_assert!(b.peek(line).is_some(), "most recent insert is always present");
+                prop_assert!(
+                    b.peek(line).is_some(),
+                    "most recent insert is always present"
+                );
             }
             Ok(())
         },
@@ -184,7 +215,12 @@ fn walker_invariants() {
         |vas| {
             let mut fa = FrameAllocator::new(4u64 << 30, 11);
             let mut w = PageWalker::new(
-                PscConfig { l5_entries: 1, l4_entries: 2, l3_entries: 8, l2_entries: 32 },
+                PscConfig {
+                    l5_entries: 1,
+                    l4_entries: 2,
+                    l3_entries: 8,
+                    l2_entries: 32,
+                },
                 &mut fa,
             );
             let mut vm = Vmem::new(HugePagePolicy::None, 13);
@@ -223,7 +259,11 @@ fn vmem_is_functional() {
                 }
             }
             let frames: std::collections::HashSet<u64> = seen.values().copied().collect();
-            prop_assert_eq!(frames.len(), seen.len(), "frames are not shared across pages");
+            prop_assert_eq!(
+                frames.len(),
+                seen.len(),
+                "frames are not shared across pages"
+            );
             Ok(())
         },
     );
@@ -251,17 +291,29 @@ fn simulation_invariants_over_random_params() {
     let mut rng = Rng64::new(2024);
     for _ in 0..6 {
         let comp = match rng.below(4) {
-            0 => Component::Stream { stride_lines: 1 + rng.below(8), pages: 64 + rng.below(2048) },
-            1 => Component::SegmentedStream { pages: 64 + rng.below(2048) },
-            2 => Component::Chase { pages: 64 + rng.below(1024) },
-            _ => Component::GraphCsr { pages: 64 + rng.below(1024), degree: 1 + rng.below(6) as u32 },
+            0 => Component::Stream {
+                stride_lines: 1 + rng.below(8),
+                pages: 64 + rng.below(2048),
+            },
+            1 => Component::SegmentedStream {
+                pages: 64 + rng.below(2048),
+            },
+            2 => Component::Chase {
+                pages: 64 + rng.below(1024),
+            },
+            _ => Component::GraphCsr {
+                pages: 64 + rng.below(1024),
+                degree: 1 + rng.below(6) as u32,
+            },
         };
         let params = GenParams {
             load_ratio: 0.15 + rng.unit() * 0.2,
             store_ratio: 0.05,
             branch_ratio: 0.1,
             branch_predictability: 0.95,
-            phases: vec![Phase { components: vec![(comp, 1)] }],
+            phases: vec![Phase {
+                components: vec![(comp, 1)],
+            }],
             phase_len: 10_000,
             code_lines: 16 + rng.below(64),
             seed: rng.next_u64(),

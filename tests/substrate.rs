@@ -40,7 +40,11 @@ fn l1i_prefetching_reduces_l1i_misses_on_code_heavy_workload() {
         .run_workload(w);
     // The fnl+mma prefetcher is always on; with a 4K-line loop the L1I
     // (512 lines) misses constantly, so prefetch fills must be plentiful.
-    assert!(r.l1i.prefetch_fills > 100, "fnl+mma fills: {}", r.l1i.prefetch_fills);
+    assert!(
+        r.l1i.prefetch_fills > 100,
+        "fnl+mma fills: {}",
+        r.l1i.prefetch_fills
+    );
     assert!(r.l1i.prefetch_useful > 0);
 }
 
@@ -68,7 +72,11 @@ fn custom_filter_configuration_runs_end_to_end() {
 fn epoch_length_affects_adaptation_but_not_correctness() {
     let w = &suite(SuiteId::Gap).workloads()[1];
     for epoch in [500u64, 8_000] {
-        let cfg = CoreConfig { epoch_instrs: epoch, spot_interval: epoch / 8, ..Default::default() };
+        let cfg = CoreConfig {
+            epoch_instrs: epoch,
+            spot_interval: epoch / 8,
+            ..Default::default()
+        };
         let r = SimulationBuilder::new()
             .pgc_policy(PgcPolicyKind::Dripper)
             .core_config(cfg)
@@ -77,7 +85,10 @@ fn epoch_length_affects_adaptation_but_not_correctness() {
             .run_workload(w);
         assert_eq!(r.core.instructions, 20_000, "epoch={epoch}");
         let p = &r.prefetch;
-        assert!(p.pgc_issued + p.pgc_discarded <= p.pgc_candidates, "epoch={epoch}");
+        assert!(
+            p.pgc_issued + p.pgc_discarded <= p.pgc_candidates,
+            "epoch={epoch}"
+        );
     }
 }
 
@@ -95,7 +106,10 @@ fn seeds_change_frame_placement_not_workload_behaviour() {
         let va = VirtAddr::new(0x5000_0000 + (p << 12));
         differs |= m1.translate_untimed(0, va) != m2.translate_untimed(0, va);
     }
-    assert!(differs, "different seeds must place pages in different frames");
+    assert!(
+        differs,
+        "different seeds must place pages in different frames"
+    );
 
     let w = &suite(SuiteId::Spec06).workloads()[0];
     let run = |seed| {
@@ -109,13 +123,19 @@ fn seeds_change_frame_placement_not_workload_behaviour() {
     let a = run(1);
     let b = run(2);
     assert_eq!(a.core.instructions, b.core.instructions);
-    assert_eq!(a.l1d.demand_misses, b.l1d.demand_misses, "virtual-space behaviour is seed-invariant");
+    assert_eq!(
+        a.l1d.demand_misses, b.l1d.demand_misses,
+        "virtual-space behaviour is seed-invariant"
+    );
 }
 
 #[test]
 fn report_mpki_consistency() {
     let w = &suite(SuiteId::Ligra).workloads()[0];
-    let r = SimulationBuilder::new().warmup(5_000).instructions(20_000).run_workload(w);
+    let r = SimulationBuilder::new()
+        .warmup(5_000)
+        .instructions(20_000)
+        .run_workload(w);
     let expected = r.l1d.demand_misses as f64 * 1000.0 / r.core.instructions as f64;
     assert!((r.l1d_mpki() - expected).abs() < 1e-9);
     assert!(r.coverage() >= 0.0 && r.coverage() <= 1.0);
@@ -131,7 +151,11 @@ fn non_intensive_workloads_are_actually_non_intensive() {
         .warmup(10_000)
         .instructions(20_000)
         .run_workload(w);
-    assert!(r.llc_mpki() < 1.0, "non-intensive must have LLC MPKI < 1, got {}", r.llc_mpki());
+    assert!(
+        r.llc_mpki() < 1.0,
+        "non-intensive must have LLC MPKI < 1, got {}",
+        r.llc_mpki()
+    );
 }
 
 #[test]
@@ -152,7 +176,10 @@ fn intensive_workloads_mostly_clear_the_mpki_bar() {
             pass += 1;
         }
     }
-    assert!(pass * 4 >= total * 3, "{pass}/{total} intensive workloads clear LLC MPKI >= 1");
+    assert!(
+        pass * 4 >= total * 3,
+        "{pass}/{total} intensive workloads clear LLC MPKI >= 1"
+    );
 }
 
 #[test]
