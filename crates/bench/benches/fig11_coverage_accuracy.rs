@@ -26,8 +26,10 @@ fn main() {
     for chunk in results.chunks(3) {
         let e = by_suite.entry(chunk[0].suite).or_default();
         for (i, r) in chunk.iter().enumerate() {
-            e.cov[i].push(r.report.coverage());
-            e.acc[i].push(r.report.prefetch_accuracy());
+            // An unresolved metric (no prefetches in a cell) contributes 0
+            // here, keeping the suite means comparable to earlier runs.
+            e.cov[i].push(r.report.coverage().unwrap_or(0.0));
+            e.acc[i].push(r.report.prefetch_accuracy().unwrap_or(0.0));
         }
     }
 

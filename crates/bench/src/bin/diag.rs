@@ -3,27 +3,41 @@ use pagecross_bench::{env_scale, quick_seen_set, run_one, Scheme};
 use pagecross_cpu::trace::TraceFactory;
 use pagecross_cpu::{PgcPolicyKind, PrefetcherKind};
 
+/// IPC delta vs the discard baseline, or `n/a` when the baseline IPC is
+/// unusable (a zero-instruction or failed run) — a percentage of zero
+/// would print as `inf%`/`NaN%` and look like data.
+fn pct(ipc: f64, baseline: f64) -> String {
+    if baseline <= 0.0 {
+        format!("{:>7}", "n/a")
+    } else {
+        format!("{:+6.2}%", (ipc / baseline - 1.0) * 100.0)
+    }
+}
+
 fn main() {
     let cfg = env_scale();
-    let pf = std::env::var("DIAG_PF")
-        .ok()
-        .map(|v| match v.as_str() {
-            "bop" => PrefetcherKind::Bop,
-            "ipcp" => PrefetcherKind::Ipcp,
-            _ => PrefetcherKind::Berti,
-        })
-        .unwrap_or(PrefetcherKind::Berti);
+    let pf = match std::env::var("DIAG_PF").ok().as_deref() {
+        None | Some("berti") => PrefetcherKind::Berti,
+        Some("bop") => PrefetcherKind::Bop,
+        Some("ipcp") => PrefetcherKind::Ipcp,
+        Some(other) => {
+            // A typo'd DIAG_PF silently falling back to Berti would label
+            // the wrong prefetcher's numbers; fail loudly instead.
+            eprintln!("error: unknown DIAG_PF '{other}' (expected berti, bop, or ipcp)");
+            std::process::exit(2);
+        }
+    };
     for w in quick_seen_set() {
         let d = run_one(w, &Scheme::new("d", pf, PgcPolicyKind::DiscardPgc), &cfg).report;
         let p = run_one(w, &Scheme::new("p", pf, PgcPolicyKind::PermitPgc), &cfg).report;
         let x = run_one(w, &Scheme::new("x", pf, PgcPolicyKind::Dripper), &cfg).report;
         let f = run_one(w, &Scheme::new("f", pf, PgcPolicyKind::Ppf), &cfg).report;
         println!(
-            "{:<12} permit {:+6.2}% dripper {:+6.2}% ppf {:+6.2}% | pgcI drip {:>6} ppf {:>6} permit {:>6} | pgc u/u drip {}/{} ppf {}/{}",
+            "{:<12} permit {} dripper {} ppf {} | pgcI drip {:>6} ppf {:>6} permit {:>6} | pgc u/u drip {}/{} ppf {}/{}",
             w.name(),
-            (p.ipc() / d.ipc() - 1.0) * 100.0,
-            (x.ipc() / d.ipc() - 1.0) * 100.0,
-            (f.ipc() / d.ipc() - 1.0) * 100.0,
+            pct(p.ipc(), d.ipc()),
+            pct(x.ipc(), d.ipc()),
+            pct(f.ipc(), d.ipc()),
             x.prefetch.pgc_issued,
             f.prefetch.pgc_issued,
             p.prefetch.pgc_issued,

@@ -20,7 +20,8 @@ use std::time::{Duration, Instant};
 
 use pagecross_cpu::trace::TraceFactory;
 use pagecross_cpu::{
-    BoundaryMode, L2PrefetcherKind, PgcPolicyKind, PrefetcherKind, Report, SimulationBuilder,
+    BoundaryMode, L2PrefetcherKind, PgcPolicyKind, PhaseTimings, PrefetcherKind, Report,
+    SimulationBuilder,
 };
 use pagecross_mem::HugePagePolicy;
 use pagecross_trace::TraceReplay;
@@ -169,9 +170,19 @@ pub fn run_one<S: Subject + ?Sized>(
     scheme: &Scheme,
     cfg: &CampaignConfig,
 ) -> WorkloadResult {
+    run_one_timed(w, scheme, cfg).0
+}
+
+/// Runs one (subject, scheme) cell and reports where the host wall-clock
+/// went (setup / warm-up / measured phases).
+pub fn run_one_timed<S: Subject + ?Sized>(
+    w: &S,
+    scheme: &Scheme,
+    cfg: &CampaignConfig,
+) -> (WorkloadResult, PhaseTimings) {
     let (warm, measure) = w.lengths();
     let factory = w.factory();
-    let report = SimulationBuilder::new()
+    let (report, phases) = SimulationBuilder::new()
         .prefetcher(scheme.prefetcher)
         .pgc_policy(scheme.policy)
         .l2_prefetcher(scheme.l2)
@@ -180,13 +191,14 @@ pub fn run_one<S: Subject + ?Sized>(
         .seed(cfg.seed)
         .warmup((warm as f64 * cfg.warmup_scale) as u64)
         .instructions((measure as f64 * cfg.measure_scale) as u64)
-        .run_workload(factory);
-    WorkloadResult {
+        .run_workload_timed(factory);
+    let result = WorkloadResult {
         workload: factory.name().to_string(),
         suite: w.suite_label(),
         scheme: scheme.label.clone(),
         report,
-    }
+    };
+    (result, phases)
 }
 
 /// Wall-clock timing of one executed cell.
@@ -200,6 +212,8 @@ pub struct CellTiming {
     pub scheme: String,
     /// Time spent simulating this cell.
     pub elapsed: Duration,
+    /// Where the cell's wall-clock went (setup / warm-up / measure).
+    pub phases: PhaseTimings,
 }
 
 /// Aggregate statistics of one worker shard.
@@ -253,6 +267,16 @@ impl CampaignRun {
         } else {
             1.0
         }
+    }
+
+    /// Phase-wise wall-clock totals across every cell (host profiling:
+    /// how much of the campaign went to setup vs warm-up vs measurement).
+    pub fn phase_totals(&self) -> PhaseTimings {
+        let mut sum = PhaseTimings::default();
+        for t in &self.timings {
+            sum.accumulate(&t.phases);
+        }
+        sum
     }
 
     /// One-line timing summary (`[campaign] ...`) for experiment logs.
@@ -317,47 +341,46 @@ pub fn run_grid<S: Subject + ?Sized>(
 
     let cpu_before = process_cpu_time();
     let start = Instant::now();
-    let mut per_shard: Vec<(ShardStats, Vec<(usize, WorkloadResult, Duration)>)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..jobs)
-                .map(|shard| {
-                    let cells = &cells;
-                    scope.spawn(move || {
-                        // Stripe, then shuffle the visit order with the
-                        // shard's own generator (Fisher–Yates).
-                        let mut mine: Vec<&(usize, &S, &Scheme)> =
-                            cells.iter().skip(shard).step_by(jobs).collect();
-                        let mut rng = Rng64::new(
-                            cfg.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        );
-                        for i in (1..mine.len()).rev() {
-                            mine.swap(i, rng.below(i as u64 + 1) as usize);
-                        }
-                        let mut out = Vec::with_capacity(mine.len());
-                        let mut busy = Duration::ZERO;
-                        for &&(idx, w, s) in &mine {
-                            let t0 = Instant::now();
-                            let r = run_one(w, s, cfg);
-                            let dt = t0.elapsed();
-                            busy += dt;
-                            out.push((idx, r, dt));
-                        }
-                        (
-                            ShardStats {
-                                shard,
-                                cells: out.len(),
-                                busy,
-                            },
-                            out,
-                        )
-                    })
+    type Cell = (usize, WorkloadResult, Duration, PhaseTimings);
+    let mut per_shard: Vec<(ShardStats, Vec<Cell>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|shard| {
+                let cells = &cells;
+                scope.spawn(move || {
+                    // Stripe, then shuffle the visit order with the
+                    // shard's own generator (Fisher–Yates).
+                    let mut mine: Vec<&(usize, &S, &Scheme)> =
+                        cells.iter().skip(shard).step_by(jobs).collect();
+                    let mut rng =
+                        Rng64::new(cfg.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    for i in (1..mine.len()).rev() {
+                        mine.swap(i, rng.below(i as u64 + 1) as usize);
+                    }
+                    let mut out = Vec::with_capacity(mine.len());
+                    let mut busy = Duration::ZERO;
+                    for &&(idx, w, s) in &mine {
+                        let t0 = Instant::now();
+                        let (r, phases) = run_one_timed(w, s, cfg);
+                        let dt = t0.elapsed();
+                        busy += dt;
+                        out.push((idx, r, dt, phases));
+                    }
+                    (
+                        ShardStats {
+                            shard,
+                            cells: out.len(),
+                            busy,
+                        },
+                        out,
+                    )
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign worker panicked"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
     let wall = start.elapsed();
     let cpu = match (cpu_before, process_cpu_time()) {
         (Some(a), Some(b)) => Some(b.saturating_sub(a)),
@@ -366,20 +389,20 @@ pub fn run_grid<S: Subject + ?Sized>(
 
     per_shard.sort_by_key(|(s, _)| s.shard);
     let shards: Vec<ShardStats> = per_shard.iter().map(|(s, _)| s.clone()).collect();
-    let mut merged: Vec<(usize, WorkloadResult, Duration)> =
-        per_shard.into_iter().flat_map(|(_, v)| v).collect();
-    merged.sort_by_key(|(idx, _, _)| *idx);
+    let mut merged: Vec<Cell> = per_shard.into_iter().flat_map(|(_, v)| v).collect();
+    merged.sort_by_key(|(idx, _, _, _)| *idx);
 
     let timings = merged
         .iter()
-        .map(|(idx, r, dt)| CellTiming {
+        .map(|(idx, r, dt, phases)| CellTiming {
             cell: *idx,
             workload: r.workload.clone(),
             scheme: r.scheme.clone(),
             elapsed: *dt,
+            phases: *phases,
         })
         .collect();
-    let results = merged.into_iter().map(|(_, r, _)| r).collect();
+    let results = merged.into_iter().map(|(_, r, _, _)| r).collect();
     CampaignRun {
         results,
         timings,
@@ -556,6 +579,23 @@ mod tests {
             a.results[0].report, c.results[0].report,
             "a different campaign seed must change frame allocation"
         );
+    }
+
+    #[test]
+    fn cell_timings_carry_phase_breakdown() {
+        let (ws, schemes) = small_grid();
+        let run = run_grid(&ws[..1], &schemes[..1], &tiny_cfg(), 1);
+        assert_eq!(run.timings.len(), 1);
+        let cell = &run.timings[0];
+        assert!(
+            cell.phases.total() > Duration::ZERO,
+            "a real simulation spends measurable time in its phases"
+        );
+        assert!(
+            cell.phases.total() <= cell.elapsed,
+            "phase breakdown cannot exceed the cell's wall-clock"
+        );
+        assert_eq!(run.phase_totals(), cell.phases, "one cell, one total");
     }
 
     #[test]

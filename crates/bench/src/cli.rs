@@ -26,9 +26,13 @@
 use crate::campaign::{
     core_schemes, env_jobs, run_grid, CampaignConfig, CampaignRun, Subject, WorkloadResult,
 };
+use crate::table::fmt_opt_ratio;
 use pagecross_cpu::trace::TraceFactory;
-use pagecross_cpu::{L2PrefetcherKind, PgcPolicyKind, PrefetcherKind, Report, SimulationBuilder};
+use pagecross_cpu::{
+    L2PrefetcherKind, PgcPolicyKind, PrefetcherKind, Report, SimulationBuilder, TelemetryConfig,
+};
 use pagecross_mem::HugePagePolicy;
+use pagecross_telemetry::{chrome_trace_json, interval_to_json, validate_jsonl};
 use pagecross_trace::TraceReplay;
 use pagecross_workloads::{seen_workloads, suite, SuiteId, Workload};
 use std::path::{Path, PathBuf};
@@ -88,6 +92,11 @@ pub enum Command {
     },
     /// Simulate a recorded `.pct` trace.
     Replay(ReplayArgs),
+    /// Validate a telemetry JSONL file emitted by `--telemetry-out`.
+    CheckTelemetry {
+        /// Path of the JSONL file.
+        jsonl: String,
+    },
     /// Print usage.
     Help,
 }
@@ -109,6 +118,12 @@ pub struct ReplayArgs {
     pub warmup: u64,
     /// Measured instructions (0 = rest of the recording).
     pub instructions: u64,
+    /// Interval time-series JSONL output path (`None` = telemetry off).
+    pub telemetry_out: Option<String>,
+    /// Retired instructions per telemetry sampling interval.
+    pub telemetry_interval: u64,
+    /// Chrome trace-event JSON output path (`None` = event tracing off).
+    pub telemetry_trace: Option<String>,
 }
 
 impl Default for ReplayArgs {
@@ -121,6 +136,9 @@ impl Default for ReplayArgs {
             huge_fraction: 0.0,
             warmup: 0,
             instructions: 0,
+            telemetry_out: None,
+            telemetry_interval: DEFAULT_TELEMETRY_INTERVAL,
+            telemetry_trace: None,
         }
     }
 }
@@ -142,7 +160,16 @@ pub struct RunArgs {
     pub warmup: u64,
     /// Measured instructions (0 = workload default).
     pub instructions: u64,
+    /// Interval time-series JSONL output path (`None` = telemetry off).
+    pub telemetry_out: Option<String>,
+    /// Retired instructions per telemetry sampling interval.
+    pub telemetry_interval: u64,
+    /// Chrome trace-event JSON output path (`None` = event tracing off).
+    pub telemetry_trace: Option<String>,
 }
+
+/// Default `--telemetry-interval`: one sample per 10k retired instructions.
+pub const DEFAULT_TELEMETRY_INTERVAL: u64 = 10_000;
 
 impl Default for RunArgs {
     fn default() -> Self {
@@ -154,6 +181,9 @@ impl Default for RunArgs {
             huge_fraction: 0.0,
             warmup: 0,
             instructions: 0,
+            telemetry_out: None,
+            telemetry_interval: DEFAULT_TELEMETRY_INTERVAL,
+            telemetry_trace: None,
         }
     }
 }
@@ -169,6 +199,30 @@ impl std::fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+/// Parses the `--telemetry-*` flags shared by `run` and `replay` into the
+/// given argument fields.
+fn parse_telemetry_flags(
+    kv: &std::collections::HashMap<String, String>,
+    out: &mut Option<String>,
+    interval: &mut u64,
+    trace: &mut Option<String>,
+) -> Result<(), CliError> {
+    if let Some(p) = kv.get("telemetry-out") {
+        *out = Some(p.clone());
+    }
+    if let Some(p) = kv.get("telemetry-interval") {
+        *interval = p.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            CliError(format!(
+                "--telemetry-interval expects a positive count, got '{p}'"
+            ))
+        })?;
+    }
+    if let Some(p) = kv.get("telemetry-trace") {
+        *trace = Some(p.clone());
+    }
+    Ok(())
+}
 
 fn parse_jobs(s: Option<&str>) -> Result<usize, CliError> {
     match s {
@@ -287,6 +341,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|_| CliError(format!("--instructions expects a count, got '{p}'")))?;
             }
+            parse_telemetry_flags(
+                &kv,
+                &mut a.telemetry_out,
+                &mut a.telemetry_interval,
+                &mut a.telemetry_trace,
+            )?;
             Ok(Command::Run(a))
         }
         "compare" => Ok(Command::Compare {
@@ -375,8 +435,19 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|_| CliError(format!("--instructions expects a count, got '{p}'")))?;
             }
+            parse_telemetry_flags(
+                &kv,
+                &mut a.telemetry_out,
+                &mut a.telemetry_interval,
+                &mut a.telemetry_trace,
+            )?;
             Ok(Command::Replay(a))
         }
+        "check-telemetry" => Ok(Command::CheckTelemetry {
+            jsonl: get("jsonl")
+                .ok_or_else(|| CliError("check-telemetry requires --jsonl <path>".into()))?
+                .to_string(),
+        }),
         other => Err(CliError(format!(
             "unknown subcommand '{other}' (try 'help')"
         ))),
@@ -393,6 +464,8 @@ USAGE:
                 [--policy dripper|permit|discard|discard-ptw|iso-storage|dripper-sf|ppf|ppf-dthr]
                 [--l2 none|spp|ipcp|bop] [--huge <fraction>]
                 [--warmup <n>] [--instructions <n>]
+                [--telemetry-out <path.jsonl>] [--telemetry-interval <n>]
+                [--telemetry-trace <path.json>]
   pagecross compare --workload <name> [--prefetcher <p>]
   pagecross sweep --suite <id> [--prefetcher <p>] [--jobs <n>]
   pagecross campaign [--suite <id>] [--prefetcher <p>] [--jobs <n>] [--per-suite <k>]
@@ -400,6 +473,9 @@ USAGE:
   pagecross record --workload <name> [--out <path>] [--warmup <n>] [--instructions <n>]
   pagecross replay --trace <path> [--prefetcher <p>] [--policy <q>] [--l2 <p>]
                    [--huge <fraction>] [--warmup <n>] [--instructions <n>]
+                   [--telemetry-out <path.jsonl>] [--telemetry-interval <n>]
+                   [--telemetry-trace <path.json>]
+  pagecross check-telemetry --jsonl <path>
 
 Suites: spec06 spec17 gap ligra parsec gkb5 qmm_int qmm_fp
 
@@ -414,6 +490,15 @@ file (default length: the workload's warm-up + measured defaults).
 replay simulates such a file; with default lengths on both sides, the
 replayed counters are bit-identical to the direct run. campaign
 --trace-dir sweeps the scheme grid over every .pct file in a directory.
+
+Telemetry: --telemetry-out samples every stats delta each
+--telemetry-interval retired instructions (default 10000) into a JSONL
+time series; --telemetry-trace additionally records structured events
+(cache fills/evictions, page walks, DRIPPER decisions) as a Chrome
+trace-event file viewable in Perfetto (ui.perfetto.dev).
+check-telemetry validates a JSONL file's schema and monotonicity.
+Collection is observation-only: reported counters are bit-identical
+with telemetry on or off.
 ";
 
 /// Prints the standard single-run report block (shared by `run` and
@@ -449,11 +534,57 @@ fn print_report(r: &Report) {
         r.l1d.pgc_useless
     );
     println!(
-        "quality      coverage {:.3}  accuracy {:.3}  pgc-accuracy {:.3}",
-        r.coverage(),
-        r.prefetch_accuracy(),
+        "quality      coverage {}  accuracy {}  pgc-accuracy {:.3}",
+        fmt_opt_ratio(r.coverage()),
+        fmt_opt_ratio(r.prefetch_accuracy()),
         r.pgc_accuracy()
     );
+}
+
+/// Runs `builder` over `w`, collecting telemetry when either output path
+/// is set, and writes the requested files. Returns the report plus the
+/// telemetry summary lines to print after the report block (so the report
+/// itself stays diffable between `run` and `replay`).
+fn simulate_with_telemetry(
+    builder: &SimulationBuilder,
+    w: &dyn TraceFactory,
+    out: Option<&str>,
+    interval: u64,
+    trace: Option<&str>,
+) -> Result<(Report, Vec<String>), CliError> {
+    if out.is_none() && trace.is_none() {
+        return Ok((builder.run_workload(w), Vec::new()));
+    }
+    let tcfg = TelemetryConfig {
+        interval,
+        events: trace.is_some(),
+        ..TelemetryConfig::default()
+    };
+    let (report, telemetry) = builder.run_workload_with_telemetry(w, &tcfg);
+    let mut lines = Vec::new();
+    if let Some(path) = out {
+        let mut text = String::new();
+        for rec in &telemetry.intervals {
+            text.push_str(&interval_to_json(rec));
+            text.push('\n');
+        }
+        std::fs::write(path, &text)
+            .map_err(|e| CliError(format!("cannot write telemetry JSONL '{path}': {e}")))?;
+        lines.push(format!(
+            "telemetry    {} intervals -> {path}",
+            telemetry.intervals.len()
+        ));
+    }
+    if let Some(path) = trace {
+        std::fs::write(path, chrome_trace_json(&telemetry.events))
+            .map_err(|e| CliError(format!("cannot write chrome trace '{path}': {e}")))?;
+        lines.push(format!(
+            "trace        {} events kept of {} seen -> {path}",
+            telemetry.events.len(),
+            telemetry.events_seen
+        ));
+    }
+    Ok((report, lines))
 }
 
 /// Collects the `.pct` files of a directory, sorted by name so the grid
@@ -565,7 +696,7 @@ pub fn execute(cmd: Command) -> i32 {
                 }
             };
             let (dw, di) = w.default_lengths();
-            let r = SimulationBuilder::new()
+            let builder = SimulationBuilder::new()
                 .prefetcher(a.prefetcher)
                 .pgc_policy(a.policy)
                 .l2_prefetcher(a.l2)
@@ -579,10 +710,26 @@ pub fn execute(cmd: Command) -> i32 {
                     a.instructions
                 } else {
                     di
-                })
-                .run_workload(w);
-            print_report(&r);
-            0
+                });
+            match simulate_with_telemetry(
+                &builder,
+                w,
+                a.telemetry_out.as_deref(),
+                a.telemetry_interval,
+                a.telemetry_trace.as_deref(),
+            ) {
+                Ok((r, lines)) => {
+                    print_report(&r);
+                    for line in &lines {
+                        println!("{line}");
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    2
+                }
+            }
         }
         Command::Compare {
             workload,
@@ -649,6 +796,14 @@ pub fn execute(cmd: Command) -> i32 {
             for s in &run.shards {
                 println!("[shard {}] {} cells, busy {:.2?}", s.shard, s.cells, s.busy);
             }
+            let ph = run.phase_totals();
+            println!(
+                "[phases] setup {:.2?}, warmup {:.2?}, measure {:.2?} (total {:.2?})",
+                ph.setup,
+                ph.warmup,
+                ph.measure,
+                ph.total()
+            );
             println!("{}", run.timing_line());
             0
         }
@@ -704,7 +859,7 @@ pub fn execute(cmd: Command) -> i32 {
                 }
             };
             let (dw, di) = replay.lengths();
-            let r = SimulationBuilder::new()
+            let builder = SimulationBuilder::new()
                 .prefetcher(a.prefetcher)
                 .pgc_policy(a.policy)
                 .l2_prefetcher(a.l2)
@@ -718,10 +873,48 @@ pub fn execute(cmd: Command) -> i32 {
                     a.instructions
                 } else {
                     di
-                })
-                .run_workload(&replay);
-            print_report(&r);
-            0
+                });
+            match simulate_with_telemetry(
+                &builder,
+                &replay,
+                a.telemetry_out.as_deref(),
+                a.telemetry_interval,
+                a.telemetry_trace.as_deref(),
+            ) {
+                Ok((r, lines)) => {
+                    print_report(&r);
+                    for line in &lines {
+                        println!("{line}");
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    2
+                }
+            }
+        }
+        Command::CheckTelemetry { jsonl } => {
+            let text = match std::fs::read_to_string(&jsonl) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read '{jsonl}': {e}");
+                    return 2;
+                }
+            };
+            match validate_jsonl(&text) {
+                Ok(s) => {
+                    println!(
+                        "ok: {} intervals, {} instructions, {} cycles",
+                        s.lines, s.final_instructions, s.final_cycles
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: invalid telemetry '{jsonl}': {e}");
+                    1
+                }
+            }
         }
     }
 }
@@ -843,6 +1036,94 @@ mod tests {
         assert!(parse(&argv("campaign --jobs 0")).is_err());
         assert!(parse(&argv("campaign --jobs many")).is_err());
         assert!(parse(&argv("campaign --per-suite 0")).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_parse_with_defaults() {
+        let Command::Run(a) = parse(&argv(
+            "run --workload gap.s00 --telemetry-out t.jsonl --telemetry-interval 5000 \
+             --telemetry-trace t.json",
+        ))
+        .unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(a.telemetry_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.telemetry_interval, 5_000);
+        assert_eq!(a.telemetry_trace.as_deref(), Some("t.json"));
+
+        let Command::Run(b) = parse(&argv("run --workload gap.s00")).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(b.telemetry_out, None);
+        assert_eq!(b.telemetry_interval, DEFAULT_TELEMETRY_INTERVAL);
+        assert_eq!(b.telemetry_trace, None);
+
+        let Command::Replay(c) =
+            parse(&argv("replay --trace g.pct --telemetry-out r.jsonl")).unwrap()
+        else {
+            panic!("expected replay")
+        };
+        assert_eq!(c.telemetry_out.as_deref(), Some("r.jsonl"));
+
+        assert!(parse(&argv("run --workload gap.s00 --telemetry-interval 0")).is_err());
+        assert!(parse(&argv("run --workload gap.s00 --telemetry-interval x")).is_err());
+    }
+
+    #[test]
+    fn check_telemetry_parses() {
+        assert_eq!(
+            parse(&argv("check-telemetry --jsonl out.jsonl")).unwrap(),
+            Command::CheckTelemetry {
+                jsonl: "out.jsonl".to_string()
+            }
+        );
+        assert!(parse(&argv("check-telemetry")).is_err());
+    }
+
+    #[test]
+    fn run_with_telemetry_emits_checkable_outputs() {
+        let dir = std::env::temp_dir().join(format!("pct-telem-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("out.jsonl");
+        let trace = dir.join("trace.json");
+        let code = execute(Command::Run(RunArgs {
+            workload: "gap.s00".to_string(),
+            warmup: 1_000,
+            instructions: 5_000,
+            telemetry_out: Some(jsonl.to_string_lossy().into_owned()),
+            telemetry_interval: 1_000,
+            telemetry_trace: Some(trace.to_string_lossy().into_owned()),
+            ..Default::default()
+        }));
+        assert_eq!(code, 0);
+        let code = execute(Command::CheckTelemetry {
+            jsonl: jsonl.to_string_lossy().into_owned(),
+        });
+        assert_eq!(code, 0, "emitted JSONL must validate");
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.contains("\"traceEvents\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_telemetry_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("pct-telem-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{\"seq\":1}\n").unwrap();
+        assert_eq!(
+            execute(Command::CheckTelemetry {
+                jsonl: bad.to_string_lossy().into_owned(),
+            }),
+            1
+        );
+        assert_eq!(
+            execute(Command::CheckTelemetry {
+                jsonl: "/nonexistent.jsonl".to_string(),
+            }),
+            2
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

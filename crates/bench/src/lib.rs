@@ -12,6 +12,7 @@ pub mod table;
 
 pub use campaign::{
     core_schemes, env_jobs, env_scale, ipcs_of, motivation_set, quick_seen_set, run_all, run_grid,
-    run_one, CampaignConfig, CampaignRun, CellTiming, Scheme, ShardStats, Subject, WorkloadResult,
+    run_one, run_one_timed, CampaignConfig, CampaignRun, CellTiming, Scheme, ShardStats, Subject,
+    WorkloadResult,
 };
-pub use table::{fmt_pct, geomean_speedup, print_header, print_row, Summary};
+pub use table::{fmt_opt_ratio, fmt_pct, geomean_speedup, print_header, print_row, Summary};

@@ -7,6 +7,15 @@ pub fn fmt_pct(ratio: f64) -> String {
     format!("{:+.2}%", (ratio - 1.0) * 100.0)
 }
 
+/// Formats an optional ratio metric ("0.731"), rendering `-` when the
+/// metric is undefined (e.g. accuracy with no resolved prefetches).
+pub fn fmt_opt_ratio(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "-".to_string(),
+    }
+}
+
 /// Geometric-mean speedup of `variant` IPCs over `baseline` IPCs
 /// (element-wise, same workload order).
 ///
@@ -72,6 +81,12 @@ mod tests {
     fn pct_formatting() {
         assert_eq!(fmt_pct(1.0173), "+1.73%");
         assert_eq!(fmt_pct(0.98), "-2.00%");
+    }
+
+    #[test]
+    fn opt_ratio_renders_dash_for_none() {
+        assert_eq!(fmt_opt_ratio(Some(0.7305)), "0.731");
+        assert_eq!(fmt_opt_ratio(None), "-");
     }
 
     #[test]

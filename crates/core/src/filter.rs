@@ -141,6 +141,12 @@ impl PageCrossFilter {
             .map_or(self.static_threshold, |a| a.threshold())
     }
 
+    /// Fraction of perceptron weights at a saturating bound (telemetry
+    /// signal; 0.0 when no program-feature tables are configured).
+    pub fn weight_saturation(&self) -> f64 {
+        self.bank.saturation_fraction()
+    }
+
     /// The cumulative weight the filter would compute for this context.
     pub fn weight(&self, ctx: &FeatureContext, snap: &SystemSnapshot) -> i32 {
         self.bank.predict(ctx) + self.sf.predict(self.sf.active_mask(snap))

@@ -67,6 +67,17 @@ impl WeightTable {
     pub fn punish(&mut self, index: u16) {
         self.weights[index as usize].dec();
     }
+
+    /// `(saturated, total)` weight counts — a weight is saturated when it
+    /// sits at either bound of its saturating range.
+    pub fn saturation(&self) -> (u64, u64) {
+        let saturated = self
+            .weights
+            .iter()
+            .filter(|w| w.is_max() || w.is_min())
+            .count() as u64;
+        (saturated, self.weights.len() as u64)
+    }
 }
 
 /// A bank of weight tables, one per selected program feature.
@@ -137,6 +148,23 @@ impl PerceptronBank {
         debug_assert_eq!(indices.len(), self.tables.len());
         for (t, &i) in self.tables.iter_mut().zip(indices) {
             t.punish(i);
+        }
+    }
+
+    /// Fraction of all weights sitting at a saturating bound, across every
+    /// table (0.0 for an empty bank). A rising fraction means the
+    /// perceptron is running out of dynamic range — the telemetry signal
+    /// the interval sampler exposes.
+    pub fn saturation_fraction(&self) -> f64 {
+        let (saturated, total) = self
+            .tables
+            .iter()
+            .map(|t| t.saturation())
+            .fold((0u64, 0u64), |(s, n), (ts, tn)| (s + ts, n + tn));
+        if total == 0 {
+            0.0
+        } else {
+            saturated as f64 / total as f64
         }
     }
 }

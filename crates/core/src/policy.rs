@@ -8,7 +8,7 @@
 
 use crate::features::FeatureContext;
 use crate::filter::PageCrossFilter;
-use pagecross_types::{Decision, PrefetchCandidate, SystemSnapshot};
+use pagecross_types::{Decision, PolicyTelemetry, PrefetchCandidate, SystemSnapshot};
 
 /// What to do with a page-cross candidate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +57,19 @@ pub trait PgcPolicy {
 
     /// Epoch boundary with the epoch's summary snapshot.
     fn end_epoch(&mut self, _snap: &SystemSnapshot) {}
+
+    /// Full policy internals for interval sampling. May be O(filter state)
+    /// — callers invoke it once per sampling interval, not per decision.
+    /// `None` for static policies with no internals.
+    fn telemetry(&self) -> Option<PolicyTelemetry> {
+        None
+    }
+
+    /// Cheap per-decision threshold readout for event tracing. `None` for
+    /// policies with no threshold.
+    fn current_threshold(&self) -> Option<i32> {
+        None
+    }
 }
 
 /// `Permit PGC`: always issue, walking when necessary.
@@ -188,6 +201,20 @@ impl PgcPolicy for FilterPolicy {
     fn end_epoch(&mut self, snap: &SystemSnapshot) {
         self.filter.end_epoch(snap);
     }
+
+    fn telemetry(&self) -> Option<PolicyTelemetry> {
+        Some(PolicyTelemetry {
+            threshold: self.filter.threshold(),
+            weight_saturation: self.filter.weight_saturation(),
+            decisions: self.filter.stats.decisions,
+            issued: self.filter.stats.issued,
+            discarded: self.filter.stats.discarded,
+        })
+    }
+
+    fn current_threshold(&self) -> Option<i32> {
+        Some(self.filter.threshold())
+    }
 }
 
 #[cfg(test)]
@@ -253,5 +280,29 @@ mod tests {
         p.on_issued(0xAA);
         p.on_pcb_eviction(0xAA, false);
         assert_eq!(p.filter().stats.pub_punishes, 1);
+    }
+
+    #[test]
+    fn telemetry_exposes_filter_internals() {
+        use crate::features::ProgramFeature;
+        use crate::filter::FilterConfig;
+        let mut cfg = FilterConfig::with_features(vec![ProgramFeature::Delta], vec![]);
+        cfg.adaptive = false;
+        cfg.static_threshold = 3;
+        let mut p = FilterPolicy::new("test", PageCrossFilter::new(cfg));
+        assert_eq!(p.current_threshold(), Some(3));
+        let t0 = p.telemetry().expect("filter policy has telemetry");
+        assert_eq!(t0.threshold, 3);
+        assert_eq!(t0.decisions, 0);
+        assert_eq!(t0.weight_saturation, 0.0, "untrained weights at zero");
+        p.decide(
+            &cand(),
+            &FeatureContext::default(),
+            &SystemSnapshot::default(),
+        );
+        assert_eq!(p.telemetry().unwrap().decisions, 1);
+        // Static policies expose nothing.
+        assert_eq!(PermitPgc.telemetry(), None);
+        assert_eq!(PermitPgc.current_threshold(), None);
     }
 }

@@ -16,7 +16,9 @@ use pagecross_mem::{HugePagePolicy, MemConfig, MemorySystem};
 use pagecross_prefetch::{
     AccessInfo, Berti, Bop, Ipcp, L1dPrefetcher, L2Prefetcher, NextLine, Spp, Stride,
 };
+use pagecross_telemetry::{PhaseTimings, TelemetryConfig, TelemetryRun};
 use pagecross_types::{PrefetchCandidate, VirtAddr};
+use std::time::Instant;
 
 /// L1D prefetcher selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -381,8 +383,15 @@ impl SimulationBuilder {
         }
     }
 
-    /// Runs a single workload on a single core.
-    pub fn run_workload(&self, workload: &dyn TraceFactory) -> Report {
+    /// Runs a single workload on a single core. Telemetry collection (when
+    /// `tcfg` is `Some`) is pure observation: the returned `Report` is
+    /// bit-identical with and without it.
+    fn run_single(
+        &self,
+        workload: &dyn TraceFactory,
+        tcfg: Option<&TelemetryConfig>,
+    ) -> (Report, PhaseTimings, Option<TelemetryRun>) {
+        let t0 = Instant::now();
         let mut mem = MemorySystem::new(
             MemConfig::table_iv(1),
             1,
@@ -391,18 +400,71 @@ impl SimulationBuilder {
         );
         let mut engine = self.make_engine(0);
         let mut trace = workload.build();
+        let t_setup = Instant::now();
         for _ in 0..self.warmup {
             let i = trace.next_instr();
             engine.step(&mut mem, &i);
         }
+        let t_warmup = Instant::now();
         mem.reset_stats();
         engine.reset_stats(&mem);
+        if let Some(cfg) = tcfg {
+            engine.attach_sampler(cfg.interval);
+            if let Some(ring) = cfg.make_ring() {
+                mem.attach_events(ring);
+            }
+        }
         for _ in 0..self.instructions {
             let i = trace.next_instr();
             engine.step(&mut mem, &i);
         }
         engine.finish();
-        self.collect_report(workload.name(), &engine, &mem)
+        let telemetry = engine.take_sampler().map(|mut sampler| {
+            // Close the final partial interval against the post-finish
+            // counters so the deltas telescope to the report totals.
+            let now = engine.telemetry_counters(&mem);
+            sampler.flush(now, engine.policy().telemetry());
+            let (events, events_seen) = match mem.take_events() {
+                Some(ring) => {
+                    let seen = ring.seen();
+                    (ring.into_events(), seen)
+                }
+                None => (Vec::new(), 0),
+            };
+            TelemetryRun {
+                intervals: sampler.into_intervals(),
+                events,
+                events_seen,
+            }
+        });
+        let timings = PhaseTimings {
+            setup: t_setup.duration_since(t0),
+            warmup: t_warmup.duration_since(t_setup),
+            measure: t_warmup.elapsed(),
+        };
+        let report = self.collect_report(workload.name(), &engine, &mem);
+        (report, timings, telemetry)
+    }
+
+    /// Runs a single workload on a single core.
+    pub fn run_workload(&self, workload: &dyn TraceFactory) -> Report {
+        self.run_single(workload, None).0
+    }
+
+    /// Runs a single workload with telemetry collection.
+    pub fn run_workload_with_telemetry(
+        &self,
+        workload: &dyn TraceFactory,
+        cfg: &TelemetryConfig,
+    ) -> (Report, TelemetryRun) {
+        let (report, _, telemetry) = self.run_single(workload, Some(cfg));
+        (report, telemetry.expect("sampler was attached"))
+    }
+
+    /// Runs a single workload, also returning wall-clock phase timings.
+    pub fn run_workload_timed(&self, workload: &dyn TraceFactory) -> (Report, PhaseTimings) {
+        let (report, timings, _) = self.run_single(workload, None);
+        (report, timings)
     }
 
     /// Runs an `n`-core mix (§IV-A2): cores advance in rough cycle

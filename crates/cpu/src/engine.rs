@@ -23,25 +23,34 @@ use crate::trace::{Instr, Op};
 use moka_pgc::{FeatureContext, PgcPolicy, PolicyAction};
 use pagecross_mem::{Eviction, MemorySystem};
 use pagecross_prefetch::{AccessInfo, FnlMma, L1dPrefetcher, L1iPrefetcher, L2Prefetcher};
+use pagecross_telemetry::IntervalSampler;
 use pagecross_types::{
-    CoreStats, PageSize, PhysAddr, PrefetchCandidate, PrefetchStats, SystemSnapshot, VirtAddr,
+    CoreStats, PageSize, PhysAddr, PrefetchCandidate, PrefetchStats, StallCause, SystemSnapshot,
+    TelemetryCounters, TraceEvent, VirtAddr, WindowCounters,
 };
 use std::collections::{HashSet, VecDeque};
 
-/// Cumulative counters captured at a window boundary (for snapshot diffs).
-#[derive(Clone, Copy, Debug, Default)]
-struct CounterBase {
-    instructions: u64,
-    cycles: u64,
-    l1d_acc: u64,
-    l1d_miss: u64,
-    l1i_miss: u64,
-    llc_acc: u64,
-    llc_miss: u64,
-    stlb_acc: u64,
-    stlb_miss: u64,
-    pgc_useful: u64,
-    pgc_useless: u64,
+/// What a completing instruction was waiting on — recorded with its ROB
+/// entry so an ROB-full stall can be charged to the head's real cause.
+/// Never consulted for timing; purely attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RetireTag {
+    /// Non-memory (or unclassified) completion.
+    Other,
+    /// Load that missed in L1D without needing a page walk.
+    L1dMiss,
+    /// Load whose translation required a page walk.
+    TlbWalk,
+}
+
+impl RetireTag {
+    fn stall_cause(self) -> StallCause {
+        match self {
+            RetireTag::Other => StallCause::RobFull,
+            RetireTag::L1dMiss => StallCause::L1dMiss,
+            RetireTag::TlbWalk => StallCause::TlbWalk,
+        }
+    }
 }
 
 /// One core's execution state.
@@ -54,7 +63,7 @@ pub struct CoreEngine {
     /// Cycle at which measurement began (end of warm-up).
     cycle_base: u64,
     issued_this_cycle: u32,
-    rob: VecDeque<u64>,
+    rob: VecDeque<(u64, RetireTag)>,
     last_completion: u64,
     prev_load_completion: u64,
     last_fetch_line: u64,
@@ -75,10 +84,14 @@ pub struct CoreEngine {
     last_line: i64,
     touched_pages: HashSet<u64>,
 
-    epoch_base: CounterBase,
+    epoch_base: WindowCounters,
     snapshot: SystemSnapshot,
     instrs_since_spot: u64,
     instrs_since_epoch: u64,
+
+    /// Interval sampler, absent unless telemetry requested it. Boxed so
+    /// the disabled path carries one pointer of overhead.
+    sampler: Option<Box<IntervalSampler>>,
 
     cand_buf: Vec<PrefetchCandidate>,
     l2_buf: Vec<u64>,
@@ -124,10 +137,11 @@ impl CoreEngine {
             delta_hist: [0; 3],
             last_line: 0,
             touched_pages: HashSet::new(),
-            epoch_base: CounterBase::default(),
+            epoch_base: WindowCounters::default(),
             snapshot: SystemSnapshot::default(),
             instrs_since_spot: 0,
             instrs_since_epoch: 0,
+            sampler: None,
             cand_buf: Vec::with_capacity(16),
             l2_buf: Vec::with_capacity(8),
             stats: CoreStats::default(),
@@ -152,15 +166,25 @@ impl CoreEngine {
 
     /// Finalises cycle accounting: the run's cycle count is the completion
     /// time of the last retiring instruction, measured from the end of
-    /// warm-up.
+    /// warm-up. The issue slots between the last dispatch and that
+    /// completion are charged as drain, closing the stall-accounting
+    /// identity (see [`pagecross_types::StallBreakdown`]).
     pub fn finish(&mut self) {
-        self.stats.cycles = self.last_completion.max(self.cycle) - self.cycle_base;
+        let end = self.last_completion.max(self.cycle);
+        let width = self.cfg.issue_width as u64;
+        let drain = ((end - self.cycle) * width).saturating_sub(self.issued_this_cycle as u64);
+        self.stats.stalls.charge(StallCause::Drain, drain);
+        self.stats.cycles = end - self.cycle_base;
     }
 
     /// Resets all statistics (end of warm-up) without touching learned
     /// microarchitectural state.
     pub fn reset_stats(&mut self, mem: &MemorySystem) {
         self.stats = CoreStats::default();
+        // Measurement starts mid-cycle when warm-up ended partway through
+        // an issue group; record those slots so the stall identity stays
+        // exact.
+        self.stats.stalls.warmup_carry = self.issued_this_cycle as u64;
         self.pstats = PrefetchStats::default();
         // Rebase windows so the first measured epoch starts clean.
         self.epoch_base = self.capture(mem);
@@ -171,9 +195,53 @@ impl CoreEngine {
         self.last_completion = self.last_completion.max(start);
     }
 
-    fn capture(&self, mem: &MemorySystem) -> CounterBase {
+    /// Attaches an interval sampler closing an interval every `interval`
+    /// retired instructions. Call after [`reset_stats`](Self::reset_stats)
+    /// so the sampler's zero base aligns with the cleared counters.
+    pub fn attach_sampler(&mut self, interval: u64) {
+        self.sampler = Some(Box::new(IntervalSampler::new(interval)));
+    }
+
+    /// Detaches and returns the sampler, if one was attached.
+    pub fn take_sampler(&mut self) -> Option<IntervalSampler> {
+        self.sampler.take().map(|b| *b)
+    }
+
+    /// Cumulative telemetry counters for this core right now. During the
+    /// run `cycles` tracks the live clock; after
+    /// [`finish`](Self::finish) it equals the final report's cycle count,
+    /// so a post-finish capture reconciles exactly.
+    pub fn telemetry_counters(&self, mem: &MemorySystem) -> TelemetryCounters {
         let c = mem.core(self.core_id);
-        CounterBase {
+        TelemetryCounters {
+            instructions: self.stats.instructions,
+            cycles: self.stats.cycles.max(self.cycle - self.cycle_base),
+            l1d_accesses: c.l1d.stats.demand_accesses,
+            l1d_misses: c.l1d.stats.demand_misses,
+            l1i_misses: c.l1i.stats.demand_misses,
+            l2c_misses: c.l2c.stats.demand_misses,
+            llc_accesses: mem.llc.stats.demand_accesses,
+            llc_misses: mem.llc.stats.demand_misses,
+            dtlb_misses: c.dtlb.stats.misses,
+            stlb_misses: c.stlb.stats.misses,
+            demand_walks: c.walk_stats.demand_walks,
+            prefetch_walks: c.walk_stats.prefetch_walks,
+            candidates: self.pstats.candidates,
+            pgc_candidates: self.pstats.pgc_candidates,
+            pgc_issued: self.pstats.pgc_issued,
+            pgc_discarded: self.pstats.pgc_discarded,
+            inpage_issued: self.pstats.inpage_issued,
+            prefetch_useful: c.l1d.stats.prefetch_useful,
+            prefetch_useless: c.l1d.stats.prefetch_useless,
+            pgc_useful: c.l1d.stats.pgc_useful,
+            pgc_useless: c.l1d.stats.pgc_useless,
+            branch_mispredicts: self.stats.branch_mispredicts,
+        }
+    }
+
+    fn capture(&self, mem: &MemorySystem) -> WindowCounters {
+        let c = mem.core(self.core_id);
+        WindowCounters {
             instructions: self.stats.instructions,
             cycles: self.cycle,
             l1d_acc: c.l1d.stats.demand_accesses,
@@ -190,33 +258,23 @@ impl CoreEngine {
 
     fn refresh_snapshot(&mut self, mem: &mut MemorySystem) {
         let now = self.capture(mem);
-        let b = &self.epoch_base;
-        let instrs = (now.instructions - b.instructions).max(1) as f64;
-        let kilo = instrs / 1000.0;
-        let rate = |num: u64, den: u64| {
-            if den == 0 {
-                0.0
-            } else {
-                num as f64 / den as f64
-            }
-        };
-        self.snapshot = SystemSnapshot {
-            l1d_mpki: (now.l1d_miss - b.l1d_miss) as f64 / kilo,
-            l1d_miss_rate: rate(now.l1d_miss - b.l1d_miss, now.l1d_acc - b.l1d_acc),
-            llc_mpki: (now.llc_miss - b.llc_miss) as f64 / kilo,
-            llc_miss_rate: rate(now.llc_miss - b.llc_miss, now.llc_acc - b.llc_acc),
-            stlb_mpki: (now.stlb_miss - b.stlb_miss) as f64 / kilo,
-            stlb_miss_rate: rate(now.stlb_miss - b.stlb_miss, now.stlb_acc - b.stlb_acc),
-            l1i_mpki: (now.l1i_miss - b.l1i_miss) as f64 / kilo,
-            ipc: rate(
-                now.instructions - b.instructions,
-                (now.cycles - b.cycles).max(1),
-            ),
-            rob_occupancy: self.rob.len() as f64 / self.cfg.rob_size as f64,
-            inflight_l1d_misses: mem.l1d_demand_mshr_occupancy(self.core_id, self.cycle),
-            pgc_useful: now.pgc_useful - b.pgc_useful,
-            pgc_useless: now.pgc_useless - b.pgc_useless,
-        };
+        self.snapshot = SystemSnapshot::from_window(
+            &now,
+            &self.epoch_base,
+            self.rob.len() as f64 / self.cfg.rob_size as f64,
+            mem.l1d_demand_mshr_occupancy(self.core_id, self.cycle),
+        );
+    }
+
+    /// Jumps the clock to `to`, charging the skipped issue slots (minus
+    /// those already used this cycle) to `cause`. Callers guarantee
+    /// `to > self.cycle`; the pacing step guarantees
+    /// `issued_this_cycle < issue_width` here, so the charge is positive.
+    fn stall_to(&mut self, to: u64, cause: StallCause) {
+        let lost = (to - self.cycle) * self.cfg.issue_width as u64 - self.issued_this_cycle as u64;
+        self.stats.stalls.charge(cause, lost);
+        self.cycle = to;
+        self.issued_this_cycle = 0;
     }
 
     fn handle_eviction(&mut self, ev: &Eviction) {
@@ -267,7 +325,20 @@ impl CoreEngine {
             pc_hist: self.pc_hist,
             delta_hist: self.delta_hist,
         };
-        match self.policy.decide(&cand, &ctx, &self.snapshot) {
+        let action = self.policy.decide(&cand, &ctx, &self.snapshot);
+        if mem.events_enabled() {
+            mem.push_event(
+                self.core_id,
+                at_cycle,
+                TraceEvent::Decision {
+                    pc: cand.pc,
+                    target_va: cand.target.raw(),
+                    issued: matches!(action, PolicyAction::Issue { .. }),
+                    threshold: self.policy.current_threshold(),
+                },
+            );
+        }
+        match action {
             PolicyAction::Discard => {
                 self.pstats.pgc_discarded += 1;
             }
@@ -293,6 +364,8 @@ impl CoreEngine {
         }
     }
 
+    /// Returns the data-ready cycle and the retire tag describing what the
+    /// access waited on (for stall attribution if it blocks the ROB head).
     fn demand_access(
         &mut self,
         mem: &mut MemorySystem,
@@ -300,8 +373,15 @@ impl CoreEngine {
         va: VirtAddr,
         is_store: bool,
         start: u64,
-    ) -> u64 {
+    ) -> (u64, RetireTag) {
         let d = mem.demand_data(self.core_id, va, is_store, start);
+        let tag = if d.walked {
+            RetireTag::TlbWalk
+        } else if !d.l1d_hit {
+            RetireTag::L1dMiss
+        } else {
+            RetireTag::Other
+        };
 
         // Filter training events (Fig. 7).
         if !d.l1d_hit {
@@ -360,7 +440,7 @@ impl CoreEngine {
         self.pc_hist = [pc, self.pc_hist[0], self.pc_hist[1]];
         self.delta_hist = [delta, self.delta_hist[0], self.delta_hist[1]];
 
-        d.ready
+        (d.ready, tag)
     }
 
     /// Executes one instruction, advancing the core's clock.
@@ -370,17 +450,17 @@ impl CoreEngine {
             self.cycle += 1;
             self.issued_this_cycle = 0;
         }
-        // ROB-full stall: wait for the head to retire.
+        // ROB-full stall: wait for the head to retire, charging the lost
+        // slots to whatever the head was waiting on.
         while self.rob.len() >= self.cfg.rob_size {
-            let head = self.rob.pop_front().expect("rob nonempty");
+            let (head, tag) = self.rob.pop_front().expect("rob nonempty");
             if head > self.cycle {
-                self.cycle = head;
-                self.issued_this_cycle = 0;
+                self.stall_to(head, tag.stall_cause());
             }
         }
         // Opportunistic head retirement keeps the ROB tracking real
         // occupancy for the snapshot.
-        while let Some(&head) = self.rob.front() {
+        while let Some(&(head, _)) = self.rob.front() {
             if head <= self.cycle {
                 self.rob.pop_front();
             } else {
@@ -389,8 +469,7 @@ impl CoreEngine {
         }
         // Front-end: branch-redirect bubbles and I-fetch.
         if self.fetch_stall_until > self.cycle {
-            self.cycle = self.fetch_stall_until;
-            self.issued_this_cycle = 0;
+            self.stall_to(self.fetch_stall_until, StallCause::BranchRedirect);
         }
         let pc_line = instr.pc >> 6;
         if pc_line != self.last_fetch_line {
@@ -411,13 +490,12 @@ impl CoreEngine {
             self.l1i_buf = targets;
         }
         if self.fetch_ready > self.cycle {
-            self.cycle = self.fetch_ready;
-            self.issued_this_cycle = 0;
+            self.stall_to(self.fetch_ready, StallCause::FetchStarved);
         }
 
         let dispatch = self.cycle;
-        let completion = match instr.op {
-            Op::Alu => dispatch + 1,
+        let (completion, tag) = match instr.op {
+            Op::Alu => (dispatch + 1, RetireTag::Other),
             Op::Branch { taken } => {
                 self.stats.branches += 1;
                 self.bp.predict(instr.pc);
@@ -427,7 +505,7 @@ impl CoreEngine {
                     self.stats.branch_mispredicts += 1;
                     self.fetch_stall_until = done + self.cfg.mispredict_penalty;
                 }
-                done
+                (done, RetireTag::Other)
             }
             Op::Load {
                 va,
@@ -439,18 +517,20 @@ impl CoreEngine {
                 } else {
                     dispatch
                 };
-                let ready = self.demand_access(mem, instr.pc, va, false, start);
+                let (ready, tag) = self.demand_access(mem, instr.pc, va, false, start);
                 self.prev_load_completion = ready;
-                ready
+                (ready, tag)
             }
             Op::Store { va } => {
                 self.stats.stores += 1;
                 self.demand_access(mem, instr.pc, va, true, dispatch);
-                dispatch + 1 // stores retire via the store buffer
+                // Stores retire via the store buffer: their latency never
+                // blocks the ROB head, so the tag stays unclassified.
+                (dispatch + 1, RetireTag::Other)
             }
         };
 
-        self.rob.push_back(completion);
+        self.rob.push_back((completion, tag));
         self.last_completion = self.last_completion.max(completion);
         self.issued_this_cycle += 1;
         self.stats.instructions += 1;
@@ -470,6 +550,18 @@ impl CoreEngine {
             let snap = self.snapshot;
             self.policy.end_epoch(&snap);
             self.epoch_base = self.capture(mem);
+        }
+
+        // Interval sampling (pure observation; absent unless telemetry is
+        // on). Two-phase so the sampler borrow is released before the
+        // counter capture reads `self`.
+        let due = self.sampler.as_mut().is_some_and(|s| s.on_retire());
+        if due {
+            let now = self.telemetry_counters(mem);
+            let policy = self.policy.telemetry();
+            if let Some(s) = &mut self.sampler {
+                s.sample(now, policy);
+            }
         }
     }
 }

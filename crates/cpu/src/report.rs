@@ -65,22 +65,29 @@ impl Report {
     /// Overall prefetch accuracy: useful / (useful + useless), over blocks
     /// whose fate is known (hit at least once, or evicted without hits).
     /// Considers all prefetch requests, in-page and page-cross (Fig. 11).
-    pub fn prefetch_accuracy(&self) -> f64 {
+    ///
+    /// `None` when no prefetched block's fate is resolved — e.g. with the
+    /// prefetcher disabled — so "no data" is distinguishable from "0%
+    /// accurate".
+    pub fn prefetch_accuracy(&self) -> Option<f64> {
         let resolved = self.l1d.prefetch_useful + self.l1d.prefetch_useless;
         if resolved == 0 {
-            return 0.0;
+            return None;
         }
-        self.l1d.prefetch_useful as f64 / resolved as f64
+        Some(self.l1d.prefetch_useful as f64 / resolved as f64)
     }
 
     /// Miss coverage proxy: prefetch-useful blocks per demand (miss +
     /// covered) — the fraction of would-be misses the prefetcher absorbed.
-    pub fn coverage(&self) -> f64 {
+    ///
+    /// `None` when there were neither misses nor covered misses, so "no
+    /// demand to cover" is distinguishable from "covered nothing".
+    pub fn coverage(&self) -> Option<f64> {
         let denom = self.l1d.demand_misses + self.l1d.prefetch_useful;
         if denom == 0 {
-            return 0.0;
+            return None;
         }
-        self.l1d.prefetch_useful as f64 / denom as f64
+        Some(self.l1d.prefetch_useful as f64 / denom as f64)
     }
 
     /// Page-cross prefetch accuracy: useful PCB blocks / resolved PCB
@@ -153,8 +160,8 @@ mod tests {
     #[test]
     fn accuracy_and_coverage_guards() {
         let r = Report::default();
-        assert_eq!(r.prefetch_accuracy(), 0.0);
-        assert_eq!(r.coverage(), 0.0);
+        assert_eq!(r.prefetch_accuracy(), None);
+        assert_eq!(r.coverage(), None);
         assert_eq!(r.pgc_accuracy(), 0.0);
         assert_eq!(r.pgc_useful_pki(), 0.0);
     }

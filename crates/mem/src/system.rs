@@ -15,7 +15,10 @@ use crate::mshr::Mshr;
 use crate::page_table::PageWalker;
 use crate::tlb::{Tlb, Translation};
 use crate::vmem::{FrameAllocator, HugePagePolicy, Vmem};
-use pagecross_types::{LineAddr, PageSize, PhysAddr, TranslationOutcome, VirtAddr, WalkStats};
+use pagecross_telemetry::EventRing;
+use pagecross_types::{
+    LineAddr, PageSize, PhysAddr, TraceEvent, TranslationOutcome, VirtAddr, WalkStats,
+};
 
 /// Traffic class of a request walking the hierarchy; decides which
 /// statistics the request perturbs.
@@ -124,6 +127,9 @@ pub struct MemorySystem {
     /// DRAM device.
     pub dram: Dram,
     frames: FrameAllocator,
+    /// Structured event trace, absent unless telemetry requested it.
+    /// Boxed so the disabled path carries one pointer of overhead.
+    events: Option<Box<EventRing>>,
 }
 
 impl MemorySystem {
@@ -158,8 +164,48 @@ impl MemorySystem {
             llc_mshr: Mshr::new(cfg.llc.mshr_entries),
             dram: Dram::new(cfg.dram),
             frames,
+            events: None,
             cfg,
         }
+    }
+
+    /// Attaches an event ring; subsequent fills, evictions, walks and
+    /// policy decisions are recorded into it.
+    pub fn attach_events(&mut self, ring: EventRing) {
+        self.events = Some(Box::new(ring));
+    }
+
+    /// Detaches and returns the event ring, if one was attached.
+    pub fn take_events(&mut self) -> Option<EventRing> {
+        self.events.take().map(|b| *b)
+    }
+
+    /// Whether event tracing is active (callers may skip building event
+    /// payloads when it is not).
+    pub fn events_enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// Records one event (no-op when tracing is off). Public so the CPU
+    /// model can record engine-side events (policy decisions) into the
+    /// same ring.
+    pub fn push_event(&mut self, core: usize, cycle: u64, event: TraceEvent) {
+        if let Some(ring) = &mut self.events {
+            ring.push(cycle, core as u32, event);
+        }
+    }
+
+    fn push_eviction_event(&mut self, core: usize, cycle: u64, ev: &Eviction) {
+        self.push_event(
+            core,
+            cycle,
+            TraceEvent::Evict {
+                line: ev.line.raw(),
+                pcb: ev.pcb,
+                dirty: ev.dirty,
+                served_hits: ev.hits > 0,
+            },
+        );
     }
 
     /// The configuration in force.
@@ -303,6 +349,19 @@ impl MemorySystem {
         for pte in &plan.refs {
             t = self.walk_ref(core, pte.line(), t);
         }
+        if self.events_enabled() {
+            self.push_event(
+                core,
+                cycle,
+                TraceEvent::Walk {
+                    va_page: va.page_4k().raw(),
+                    latency: t - cycle,
+                    refs: plan.refs.len() as u32,
+                    psc_skipped: plan.levels_skipped,
+                    speculative,
+                },
+            );
+        }
         let tr = plan.translation;
         self.cores[core].stlb.fill(tr, speculative);
         self.cores[core].dtlb.fill(tr, speculative);
@@ -390,6 +449,20 @@ impl MemorySystem {
         let below = self.fetch_from_l2(core, line, start + l1d_lat, Traffic::Demand { is_store });
         let ready = self.cores[core].mshr_l1d.allocate(line, start, below);
         let eviction = self.cores[core].l1d.fill(line, FillKind::Demand, is_store);
+        if self.events_enabled() {
+            self.push_event(
+                core,
+                start,
+                TraceEvent::Fill {
+                    line: line.raw(),
+                    prefetch: false,
+                    page_cross: false,
+                },
+            );
+            if let Some(ev) = &eviction {
+                self.push_eviction_event(core, start, ev);
+            }
+        }
         DemandDataResult {
             ready,
             l1d_hit: false,
@@ -534,6 +607,20 @@ impl MemorySystem {
             FillKind::PrefetchInPage
         };
         let eviction = self.cores[core].l1d.fill(line, kind, false);
+        if self.events_enabled() {
+            self.push_event(
+                core,
+                t_ready,
+                TraceEvent::Fill {
+                    line: line.raw(),
+                    prefetch: true,
+                    page_cross,
+                },
+            );
+            if let Some(ev) = &eviction {
+                self.push_eviction_event(core, t_ready, ev);
+            }
+        }
         PrefetchIssueResult {
             issued: true,
             redundant: false,
@@ -833,6 +920,65 @@ mod tests {
             l2.prefetch_accesses > 0,
             "prefetch probes must be visible in the prefetch counters"
         );
+    }
+
+    #[test]
+    fn event_ring_records_fills_and_walks() {
+        let mut m = sys();
+        assert!(!m.events_enabled());
+        // Events offered before attach are silently dropped.
+        m.push_event(
+            0,
+            0,
+            TraceEvent::Fill {
+                line: 1,
+                prefetch: false,
+                page_cross: false,
+            },
+        );
+        m.attach_events(EventRing::new(1024, 1));
+        assert!(m.events_enabled());
+
+        let va = VirtAddr::new(0xC000_0000);
+        m.demand_data(0, va, false, 0); // cold: walk + demand fill
+        let r = m.issue_prefetch(0, va.offset(4096), true, 1_000, true);
+        assert!(r.issued && r.walked);
+
+        let ring = m.take_events().expect("ring attached");
+        assert!(!m.events_enabled());
+        let events = ring.into_events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.event.kind()).collect();
+        assert!(kinds.contains(&"walk"), "{kinds:?}");
+        assert!(kinds.contains(&"fill"), "{kinds:?}");
+        let walks: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::Walk {
+                    latency,
+                    refs,
+                    speculative,
+                    ..
+                } => Some((latency, refs, speculative)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(walks.len(), 2, "one demand + one speculative walk");
+        assert!(walks.iter().all(|&(lat, refs, _)| lat > 0 && refs > 0));
+        assert_eq!(walks.iter().filter(|&&(_, _, s)| s).count(), 1);
+        let pf_fills = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    TraceEvent::Fill {
+                        prefetch: true,
+                        page_cross: true,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(pf_fills, 1, "the page-cross prefetch fill is recorded");
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Chrome trace-event JSON export (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! Simulated cycles are mapped 1:1 onto trace microseconds. Page walks
+//! have duration and become complete events (`ph: "X"`); fills, evictions
+//! and policy decisions are instants (`ph: "i"`, thread scope). Each core
+//! is a thread under a single "simulator" process.
+
+use pagecross_types::{TimedEvent, TraceEvent};
+use std::fmt::Write as _;
+
+fn push_args(out: &mut String, event: &TraceEvent) {
+    match event {
+        TraceEvent::Fill {
+            line,
+            prefetch,
+            page_cross,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"line\":{line},\"prefetch\":{prefetch},\"page_cross\":{page_cross}}}"
+            );
+        }
+        TraceEvent::Evict {
+            line,
+            pcb,
+            dirty,
+            served_hits,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"line\":{line},\"pcb\":{pcb},\"dirty\":{dirty},\"served_hits\":{served_hits}}}"
+            );
+        }
+        TraceEvent::Walk {
+            va_page,
+            latency,
+            refs,
+            psc_skipped,
+            speculative,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"va_page\":{va_page},\"latency\":{latency},\"refs\":{refs},\
+                 \"psc_skipped\":{psc_skipped},\"speculative\":{speculative}}}"
+            );
+        }
+        TraceEvent::Decision {
+            pc,
+            target_va,
+            issued,
+            threshold,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"pc\":{pc},\"target_va\":{target_va},\"issued\":{issued}"
+            );
+            match threshold {
+                Some(t) => {
+                    let _ = write!(out, ",\"threshold\":{t}}}");
+                }
+                None => out.push_str(",\"threshold\":null}"),
+            }
+        }
+    }
+}
+
+/// Renders events as a Chrome trace-event JSON document
+/// (`{"traceEvents": [...]}`).
+pub fn chrome_trace_json(events: &[TimedEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let name = e.event.kind();
+        let tid = e.core + 1; // Perfetto hides tid 0.
+        match e.event {
+            TraceEvent::Walk { latency, .. } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"walk\",\"ph\":\"X\",\"ts\":{},\
+                     \"dur\":{},\"pid\":1,\"tid\":{tid},\"args\":",
+                    e.cycle,
+                    latency.max(1)
+                );
+            }
+            _ => {
+                let cat = match e.event {
+                    TraceEvent::Decision { .. } => "policy",
+                    _ => "cache",
+                };
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":1,\"tid\":{tid},\"args\":",
+                    e.cycle
+                );
+            }
+        }
+        push_args(&mut out, &e.event);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_is_a_complete_event_with_duration() {
+        let events = [TimedEvent {
+            cycle: 100,
+            core: 0,
+            event: TraceEvent::Walk {
+                va_page: 42,
+                latency: 30,
+                refs: 4,
+                psc_skipped: 2,
+                speculative: true,
+            },
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":30"));
+        assert!(json.contains("\"ts\":100"));
+        assert!(json.contains("\"speculative\":true"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn instants_have_thread_scope() {
+        let events = [
+            TimedEvent {
+                cycle: 5,
+                core: 0,
+                event: TraceEvent::Fill {
+                    line: 9,
+                    prefetch: true,
+                    page_cross: true,
+                },
+            },
+            TimedEvent {
+                cycle: 6,
+                core: 0,
+                event: TraceEvent::Decision {
+                    pc: 0x400,
+                    target_va: 0x7000,
+                    issued: false,
+                    threshold: Some(-2),
+                },
+            },
+        ];
+        let json = chrome_trace_json(&events);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 2);
+        assert_eq!(json.matches("\"s\":\"t\"").count(), 2);
+        assert!(json.contains("\"threshold\":-2"));
+        assert!(json.contains("\"cat\":\"policy\""));
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_document() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn zero_latency_walk_gets_min_duration() {
+        let events = [TimedEvent {
+            cycle: 0,
+            core: 2,
+            event: TraceEvent::Walk {
+                va_page: 1,
+                latency: 0,
+                refs: 0,
+                psc_skipped: 0,
+                speculative: false,
+            },
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"dur\":1"));
+        assert!(json.contains("\"tid\":3"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Host-side phase profiling: wall-clock spent in each simulation phase.
+
+use std::time::Duration;
+
+/// Wall-clock time per simulation phase of one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Building the memory system, engine and workload stream.
+    pub setup: Duration,
+    /// Warm-up instructions.
+    pub warmup: Duration,
+    /// Measured instructions (including finalisation).
+    pub measure: Duration,
+}
+
+impl PhaseTimings {
+    /// Total wall-clock across all phases.
+    pub fn total(&self) -> Duration {
+        self.setup + self.warmup + self.measure
+    }
+
+    /// Adds another run's timings phase-wise (campaign aggregation).
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.setup += other.setup;
+        self.warmup += other.warmup;
+        self.measure += other.measure;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_accumulate() {
+        let a = PhaseTimings {
+            setup: Duration::from_millis(2),
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(13),
+        };
+        assert_eq!(a.total(), Duration::from_millis(20));
+        let mut sum = PhaseTimings::default();
+        sum.accumulate(&a);
+        sum.accumulate(&a);
+        assert_eq!(sum.measure, Duration::from_millis(26));
+        assert_eq!(sum.total(), Duration::from_millis(40));
+    }
+}

@@ -35,6 +35,7 @@ pub mod request;
 pub mod rng;
 pub mod snapshot;
 pub mod stats;
+pub mod telemetry;
 
 pub use addr::{
     LineAddr, PageNum, PhysAddr, VirtAddr, HUGE_PAGE_SHIFT_2M, HUGE_PAGE_SIZE_2M, LINE_SHIFT,
@@ -43,5 +44,9 @@ pub use addr::{
 pub use counter::SatCounter;
 pub use request::{AccessKind, Decision, PageSize, PrefetchCandidate, TranslationOutcome};
 pub use rng::Rng64;
-pub use snapshot::SystemSnapshot;
+pub use snapshot::{SystemSnapshot, WindowCounters};
 pub use stats::{geomean, CacheStats, CoreStats, PrefetchStats, TlbStats, WalkStats};
+pub use telemetry::{
+    IntervalRecord, PolicyTelemetry, StallBreakdown, StallCause, TelemetryCounters, TimedEvent,
+    TraceEvent,
+};

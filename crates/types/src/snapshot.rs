@@ -6,6 +6,37 @@
 //! produces a [`SystemSnapshot`] over a sliding window and hands it to the
 //! filter at decision time and at epoch boundaries.
 
+/// Cumulative counters captured at a window boundary.
+///
+/// The CPU model captures one of these at every epoch boundary and diffs
+/// consecutive captures to produce a windowed [`SystemSnapshot`] — MPKIs
+/// and miss rates over the window, not since the start of the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowCounters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// L1D demand accesses.
+    pub l1d_acc: u64,
+    /// L1D demand misses.
+    pub l1d_miss: u64,
+    /// L1I demand misses.
+    pub l1i_miss: u64,
+    /// LLC demand accesses.
+    pub llc_acc: u64,
+    /// LLC demand misses.
+    pub llc_miss: u64,
+    /// STLB accesses.
+    pub stlb_acc: u64,
+    /// STLB misses.
+    pub stlb_miss: u64,
+    /// Useful page-cross prefetches.
+    pub pgc_useful: u64,
+    /// Useless page-cross prefetches.
+    pub pgc_useless: u64,
+}
+
 /// A windowed summary of the system state, in the units the paper uses.
 ///
 /// All `*_mpki` fields are misses per kilo-instruction over the window; all
@@ -41,6 +72,48 @@ pub struct SystemSnapshot {
 }
 
 impl SystemSnapshot {
+    /// Builds a windowed snapshot from two cumulative captures.
+    ///
+    /// `base` is the capture at the start of the window, `now` the capture
+    /// at its end; `rob_occupancy` and `inflight_l1d_misses` are
+    /// instantaneous values sampled at the window end. A window with zero
+    /// retired instructions (or zero elapsed cycles) is clamped to one so
+    /// the MPKI/IPC divisions stay finite.
+    pub fn from_window(
+        now: &WindowCounters,
+        base: &WindowCounters,
+        rob_occupancy: f64,
+        inflight_l1d_misses: u32,
+    ) -> SystemSnapshot {
+        let b = base;
+        let instrs = (now.instructions - b.instructions).max(1) as f64;
+        let kilo = instrs / 1000.0;
+        let rate = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        SystemSnapshot {
+            l1d_mpki: (now.l1d_miss - b.l1d_miss) as f64 / kilo,
+            l1d_miss_rate: rate(now.l1d_miss - b.l1d_miss, now.l1d_acc - b.l1d_acc),
+            llc_mpki: (now.llc_miss - b.llc_miss) as f64 / kilo,
+            llc_miss_rate: rate(now.llc_miss - b.llc_miss, now.llc_acc - b.llc_acc),
+            stlb_mpki: (now.stlb_miss - b.stlb_miss) as f64 / kilo,
+            stlb_miss_rate: rate(now.stlb_miss - b.stlb_miss, now.stlb_acc - b.stlb_acc),
+            l1i_mpki: (now.l1i_miss - b.l1i_miss) as f64 / kilo,
+            ipc: rate(
+                now.instructions - b.instructions,
+                (now.cycles - b.cycles).max(1),
+            ),
+            rob_occupancy,
+            inflight_l1d_misses,
+            pgc_useful: now.pgc_useful - b.pgc_useful,
+            pgc_useless: now.pgc_useless - b.pgc_useless,
+        }
+    }
+
     /// Accuracy of page-cross prefetching this epoch: useful / issued.
     /// Returns 1.0 when nothing has been issued yet (optimistic start, so
     /// the filter is not throttled before any evidence exists).
@@ -82,5 +155,100 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.pgc_accuracy(), 0.0);
+    }
+
+    /// Two consecutive windows over the same cumulative stream: each
+    /// snapshot must reflect only its own window's deltas, not the
+    /// cumulative totals.
+    #[test]
+    fn windowing_is_delta_based_across_consecutive_windows() {
+        let w0 = WindowCounters::default();
+        let w1 = WindowCounters {
+            instructions: 2_000,
+            cycles: 4_000,
+            l1d_acc: 800,
+            l1d_miss: 200,
+            l1i_miss: 10,
+            llc_acc: 150,
+            llc_miss: 30,
+            stlb_acc: 100,
+            stlb_miss: 25,
+            pgc_useful: 8,
+            pgc_useless: 2,
+        };
+        let w2 = WindowCounters {
+            instructions: 4_000,
+            cycles: 5_000,
+            l1d_acc: 1_000,
+            l1d_miss: 210,
+            l1i_miss: 10,
+            llc_acc: 170,
+            llc_miss: 34,
+            stlb_acc: 140,
+            stlb_miss: 27,
+            pgc_useful: 20,
+            pgc_useless: 5,
+        };
+
+        // First window: [w0, w1).
+        let s1 = SystemSnapshot::from_window(&w1, &w0, 0.5, 3);
+        assert!((s1.l1d_mpki - 100.0).abs() < 1e-12, "200 misses / 2 kI");
+        assert!((s1.l1d_miss_rate - 0.25).abs() < 1e-12);
+        assert!((s1.llc_mpki - 15.0).abs() < 1e-12);
+        assert!((s1.llc_miss_rate - 0.2).abs() < 1e-12);
+        assert!((s1.stlb_mpki - 12.5).abs() < 1e-12);
+        assert!((s1.stlb_miss_rate - 0.25).abs() < 1e-12);
+        assert!((s1.l1i_mpki - 5.0).abs() < 1e-12);
+        assert!((s1.ipc - 0.5).abs() < 1e-12);
+        assert_eq!(s1.rob_occupancy, 0.5);
+        assert_eq!(s1.inflight_l1d_misses, 3);
+        assert_eq!(s1.pgc_useful, 8);
+        assert_eq!(s1.pgc_useless, 2);
+
+        // Second window: [w1, w2) — deltas only, not cumulative values.
+        let s2 = SystemSnapshot::from_window(&w2, &w1, 0.25, 1);
+        assert!((s2.l1d_mpki - 5.0).abs() < 1e-12, "10 misses / 2 kI");
+        assert!((s2.l1d_miss_rate - 0.05).abs() < 1e-12, "10 / 200 accesses");
+        assert!((s2.llc_mpki - 2.0).abs() < 1e-12);
+        assert!((s2.llc_miss_rate - 0.2).abs() < 1e-12);
+        assert!((s2.stlb_mpki - 1.0).abs() < 1e-12);
+        assert!((s2.stlb_miss_rate - 0.05).abs() < 1e-12);
+        assert!((s2.l1i_mpki - 0.0).abs() < 1e-12);
+        assert!((s2.ipc - 2.0).abs() < 1e-12);
+        assert_eq!(s2.pgc_useful, 12);
+        assert_eq!(s2.pgc_useless, 3);
+    }
+
+    /// A window in which nothing retired must stay finite: the instruction
+    /// denominator clamps to 1, so MPKIs degrade to raw miss counts and
+    /// IPC to 0.
+    #[test]
+    fn zero_retired_window_is_finite() {
+        let base = WindowCounters {
+            instructions: 1_000,
+            cycles: 2_000,
+            l1d_acc: 500,
+            l1d_miss: 100,
+            ..Default::default()
+        };
+        // Same instruction count, but misses still accrued (e.g. stalled
+        // on outstanding requests across the boundary).
+        let now = WindowCounters {
+            instructions: 1_000,
+            cycles: 2_000,
+            l1d_acc: 504,
+            l1d_miss: 103,
+            ..Default::default()
+        };
+        let s = SystemSnapshot::from_window(&now, &base, 1.0, 7);
+        assert!(s.l1d_mpki.is_finite());
+        assert!(
+            (s.l1d_mpki - 3_000.0).abs() < 1e-9,
+            "3 misses / (1/1000) kI"
+        );
+        assert!((s.l1d_miss_rate - 0.75).abs() < 1e-12);
+        assert_eq!(s.ipc, 0.0, "no instructions retired in the window");
+        assert!(s.ipc.is_finite());
+        assert_eq!(s.inflight_l1d_misses, 7);
     }
 }

@@ -58,4 +58,20 @@ if ! diff -u "$SCRATCH/direct.txt" "$SCRATCH/replay.txt"; then
 fi
 "$PAGECROSS" campaign --trace-dir "$TRACE_DIR" --jobs 2 > /dev/null
 
+echo "== verify: telemetry smoke (JSONL + chrome trace) =="
+# Telemetry must validate against its own checker and must not change the
+# report block (everything before the telemetry summary lines).
+"$PAGECROSS" run --workload qmm_int.s00 --warmup 5000 --instructions 20000 \
+    --telemetry-out "$SCRATCH/telemetry.jsonl" --telemetry-interval 10000 \
+    --telemetry-trace "$SCRATCH/trace.json" > "$SCRATCH/telemetry-run.txt"
+"$PAGECROSS" check-telemetry --jsonl "$SCRATCH/telemetry.jsonl"
+if ! grep -q '"traceEvents"' "$SCRATCH/trace.json"; then
+    echo "verify: FAIL — chrome trace missing traceEvents array" >&2
+    exit 1
+fi
+if ! diff -u "$SCRATCH/direct.txt" <(grep -v '^telemetry\|^trace ' "$SCRATCH/telemetry-run.txt"); then
+    echo "verify: FAIL — telemetry collection changed the report output" >&2
+    exit 1
+fi
+
 echo "== verify: OK =="

@@ -138,8 +138,12 @@ fn report_mpki_consistency() {
         .run_workload(w);
     let expected = r.l1d.demand_misses as f64 * 1000.0 / r.core.instructions as f64;
     assert!((r.l1d_mpki() - expected).abs() < 1e-9);
-    assert!(r.coverage() >= 0.0 && r.coverage() <= 1.0);
-    assert!(r.prefetch_accuracy() >= 0.0 && r.prefetch_accuracy() <= 1.0);
+    let cov = r.coverage().expect("ligra run resolves coverage");
+    assert!((0.0..=1.0).contains(&cov));
+    let acc = r
+        .prefetch_accuracy()
+        .expect("ligra run resolves prefetch accuracy");
+    assert!((0.0..=1.0).contains(&acc));
     assert!(r.pgc_accuracy() >= 0.0 && r.pgc_accuracy() <= 1.0);
 }
 
