@@ -52,7 +52,10 @@ fn bench_tlb_ptw(c: &mut Micro) {
                 // frame allocator must not exhaust physical memory.
                 let va = VirtAddr::new(rng.below(1 << 27) & !63);
                 cycle += 50;
-                black_box(mem.demand_data(0, va, false, cycle));
+                black_box(
+                    mem.demand_data(0, va, false, cycle)
+                        .expect("no OS model, no OOM"),
+                );
             }
         });
     });

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use pagecross_cpu::trace::TraceFactory;
 use pagecross_cpu::{
-    BoundaryMode, L2PrefetcherKind, PgcPolicyKind, PhaseTimings, PrefetcherKind, Report,
+    BoundaryMode, L2PrefetcherKind, OsConfig, PgcPolicyKind, PhaseTimings, PrefetcherKind, Report,
     SimulationBuilder,
 };
 use pagecross_mem::HugePagePolicy;
@@ -106,6 +106,8 @@ pub struct Scheme {
     pub boundary: BoundaryMode,
     /// Huge-page policy.
     pub huge: HugePagePolicy,
+    /// Imitation-OS model (`None` = off, the default).
+    pub os: Option<OsConfig>,
 }
 
 impl Scheme {
@@ -118,6 +120,7 @@ impl Scheme {
             l2: L2PrefetcherKind::None,
             boundary: BoundaryMode::Fixed4K,
             huge: HugePagePolicy::None,
+            os: None,
         }
     }
 }
@@ -160,8 +163,12 @@ pub struct WorkloadResult {
     pub suite: &'static str,
     /// Scheme label.
     pub scheme: String,
-    /// Full simulation report.
+    /// Full simulation report (all-default when the cell failed).
     pub report: Report,
+    /// Why the cell failed (`None` = the report is a real result). A
+    /// failed cell — e.g. physical-memory exhaustion under the OS model —
+    /// never sinks the rest of the grid: the other cells still merge.
+    pub error: Option<String>,
 }
 
 /// Runs one (subject, scheme) cell.
@@ -182,7 +189,7 @@ pub fn run_one_timed<S: Subject + ?Sized>(
 ) -> (WorkloadResult, PhaseTimings) {
     let (warm, measure) = w.lengths();
     let factory = w.factory();
-    let (report, phases) = SimulationBuilder::new()
+    let mut builder = SimulationBuilder::new()
         .prefetcher(scheme.prefetcher)
         .pgc_policy(scheme.policy)
         .l2_prefetcher(scheme.l2)
@@ -190,13 +197,24 @@ pub fn run_one_timed<S: Subject + ?Sized>(
         .huge_pages(scheme.huge.clone())
         .seed(cfg.seed)
         .warmup((warm as f64 * cfg.warmup_scale) as u64)
-        .instructions((measure as f64 * cfg.measure_scale) as u64)
-        .run_workload_timed(factory);
+        .instructions((measure as f64 * cfg.measure_scale) as u64);
+    if let Some(os) = scheme.os {
+        builder = builder.os(os);
+    }
+    let (report, phases, error) = match builder.try_run_workload_timed(factory) {
+        Ok((report, phases)) => (report, phases, None),
+        Err(e) => (
+            Report::default(),
+            PhaseTimings::default(),
+            Some(e.to_string()),
+        ),
+    };
     let result = WorkloadResult {
         workload: factory.name().to_string(),
         suite: w.suite_label(),
         scheme: scheme.label.clone(),
         report,
+        error,
     };
     (result, phases)
 }
@@ -629,6 +647,79 @@ mod tests {
             par.wall,
             par.timing_line()
         );
+    }
+
+    #[test]
+    fn an_oom_cell_fails_alone_and_the_rest_of_the_grid_merges() {
+        use pagecross_cpu::{Instr, Op, TraceSource};
+
+        // Every instruction lives on its own 4 KB code page; code pages are
+        // pinned by the OS model, so a 64 MB machine runs out of frames
+        // with nothing left to reclaim partway through the run.
+        struct CodeBomb;
+        struct BombSrc {
+            i: u64,
+        }
+        impl TraceSource for BombSrc {
+            fn next_instr(&mut self) -> Instr {
+                self.i += 1;
+                Instr {
+                    pc: 0x100_0000 + self.i * 4096,
+                    op: Op::Alu,
+                }
+            }
+        }
+        impl TraceFactory for CodeBomb {
+            fn name(&self) -> &str {
+                "code-bomb"
+            }
+            fn build(&self) -> Box<dyn TraceSource> {
+                Box::new(BombSrc { i: 0 })
+            }
+        }
+        impl Subject for CodeBomb {
+            fn factory(&self) -> &dyn TraceFactory {
+                self
+            }
+            fn suite_label(&self) -> &'static str {
+                "synthetic"
+            }
+            fn lengths(&self) -> (u64, u64) {
+                (100, 12_000)
+            }
+        }
+
+        let mut strained = Scheme::new("os-64M", PrefetcherKind::None, PgcPolicyKind::DiscardPgc);
+        strained.os = Some(OsConfig {
+            phys_mem_bytes: 64 << 20,
+            ..OsConfig::default()
+        });
+        let plain = Scheme::new("no-os", PrefetcherKind::None, PgcPolicyKind::DiscardPgc);
+        let run = run_grid(
+            &[&CodeBomb],
+            &[strained, plain],
+            &CampaignConfig::default(),
+            2,
+        );
+        assert_eq!(
+            run.results.len(),
+            2,
+            "the failed cell still occupies its slot"
+        );
+        let failed = &run.results[0];
+        assert!(
+            failed.error.as_deref().is_some_and(|e| e.contains("4KB")),
+            "expected a frame-exhaustion error, got {:?}",
+            failed.error
+        );
+        assert_eq!(
+            failed.report,
+            Report::default(),
+            "failed cells carry no numbers"
+        );
+        let ok = &run.results[1];
+        assert!(ok.error.is_none(), "the sibling cell merges normally");
+        assert!(ok.report.ipc() > 0.0);
     }
 
     #[test]

@@ -29,11 +29,13 @@ use crate::campaign::{
 use crate::table::fmt_opt_ratio;
 use pagecross_cpu::trace::TraceFactory;
 use pagecross_cpu::{
-    L2PrefetcherKind, PgcPolicyKind, PrefetcherKind, Report, SimulationBuilder, TelemetryConfig,
+    L2PrefetcherKind, OsConfig, PgcPolicyKind, PrefetcherKind, Report, SimulationBuilder,
+    TelemetryConfig,
 };
 use pagecross_mem::HugePagePolicy;
 use pagecross_telemetry::{chrome_trace_json, interval_to_json, validate_jsonl};
 use pagecross_trace::TraceReplay;
+use pagecross_types::OsStats;
 use pagecross_workloads::{seen_workloads, suite, SuiteId, Workload};
 use std::path::{Path, PathBuf};
 
@@ -101,6 +103,53 @@ pub enum Command {
     Help,
 }
 
+/// The imitation-OS flags shared by `run` and `replay` (`--os`,
+/// `--phys-mem`, `--thp`, `--fault-ns`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OsArgs {
+    /// `--os on` enables the OS model (off by default).
+    pub enabled: bool,
+    /// Physical memory capacity in bytes (0 = [`OsConfig`] default).
+    pub phys_mem_bytes: u64,
+    /// THP aggressiveness in [0, 1] (0 = never promote).
+    pub thp: f64,
+    /// Minor-fault handler latency in nanoseconds (0 = [`OsConfig`]
+    /// default cycle costs; a major fault costs 8x the minor).
+    pub fault_ns: u64,
+}
+
+impl Default for OsArgs {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            phys_mem_bytes: 0,
+            thp: 0.0,
+            fault_ns: 0,
+        }
+    }
+}
+
+impl OsArgs {
+    /// The [`OsConfig`] these flags describe, or `None` when `--os` is off.
+    pub fn to_config(&self) -> Option<OsConfig> {
+        if !self.enabled {
+            return None;
+        }
+        let mut cfg = OsConfig::default();
+        if self.phys_mem_bytes > 0 {
+            cfg.phys_mem_bytes = self.phys_mem_bytes;
+        }
+        cfg.thp = self.thp;
+        if self.fault_ns > 0 {
+            // 4 GHz core: 1 ns = 4 cycles; Linux major faults (I/O plus
+            // handler) run ~8x the minor-fault cost in this model.
+            cfg.minor_fault_cycles = self.fault_ns * 4;
+            cfg.major_fault_cycles = self.fault_ns * 32;
+        }
+        Some(cfg)
+    }
+}
+
 /// Arguments of the `replay` subcommand.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReplayArgs {
@@ -124,6 +173,8 @@ pub struct ReplayArgs {
     pub telemetry_interval: u64,
     /// Chrome trace-event JSON output path (`None` = event tracing off).
     pub telemetry_trace: Option<String>,
+    /// Imitation-OS model flags.
+    pub os: OsArgs,
 }
 
 impl Default for ReplayArgs {
@@ -139,6 +190,7 @@ impl Default for ReplayArgs {
             telemetry_out: None,
             telemetry_interval: DEFAULT_TELEMETRY_INTERVAL,
             telemetry_trace: None,
+            os: OsArgs::default(),
         }
     }
 }
@@ -166,6 +218,8 @@ pub struct RunArgs {
     pub telemetry_interval: u64,
     /// Chrome trace-event JSON output path (`None` = event tracing off).
     pub telemetry_trace: Option<String>,
+    /// Imitation-OS model flags.
+    pub os: OsArgs,
 }
 
 /// Default `--telemetry-interval`: one sample per 10k retired instructions.
@@ -184,6 +238,7 @@ impl Default for RunArgs {
             telemetry_out: None,
             telemetry_interval: DEFAULT_TELEMETRY_INTERVAL,
             telemetry_trace: None,
+            os: OsArgs::default(),
         }
     }
 }
@@ -220,6 +275,53 @@ fn parse_telemetry_flags(
     }
     if let Some(p) = kv.get("telemetry-trace") {
         *trace = Some(p.clone());
+    }
+    Ok(())
+}
+
+/// Parses a byte-size literal: plain bytes, or with a `K`/`M`/`G` suffix
+/// (binary multiples, case-insensitive), e.g. `64M`, `2G`, `67108864`.
+fn parse_size(s: &str) -> Option<u64> {
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1u64 << 10),
+        b'M' | b'm' => (&s[..s.len() - 1], 1u64 << 20),
+        b'G' | b'g' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
+}
+
+/// Parses the imitation-OS flags shared by `run` and `replay`.
+fn parse_os_flags(
+    kv: &std::collections::HashMap<String, String>,
+    os: &mut OsArgs,
+) -> Result<(), CliError> {
+    if let Some(p) = kv.get("os") {
+        os.enabled = match p.as_str() {
+            "on" => true,
+            "off" => false,
+            _ => return Err(CliError(format!("--os expects on|off, got '{p}'"))),
+        };
+    }
+    if let Some(p) = kv.get("phys-mem") {
+        os.phys_mem_bytes = parse_size(p).filter(|&n| n >= 64 << 20).ok_or_else(|| {
+            CliError(format!(
+                "--phys-mem expects a size of at least 64M (e.g. 64M, 2G), got '{p}'"
+            ))
+        })?;
+    }
+    if let Some(p) = kv.get("thp") {
+        os.thp = p
+            .parse::<f64>()
+            .ok()
+            .filter(|t| (0.0..=1.0).contains(t))
+            .ok_or_else(|| CliError(format!("--thp expects a fraction in [0, 1], got '{p}'")))?;
+    }
+    if let Some(p) = kv.get("fault-ns") {
+        os.fault_ns =
+            p.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                CliError(format!("--fault-ns expects a positive count, got '{p}'"))
+            })?;
     }
     Ok(())
 }
@@ -347,6 +449,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 &mut a.telemetry_interval,
                 &mut a.telemetry_trace,
             )?;
+            parse_os_flags(&kv, &mut a.os)?;
             Ok(Command::Run(a))
         }
         "compare" => Ok(Command::Compare {
@@ -441,6 +544,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 &mut a.telemetry_interval,
                 &mut a.telemetry_trace,
             )?;
+            parse_os_flags(&kv, &mut a.os)?;
             Ok(Command::Replay(a))
         }
         "check-telemetry" => Ok(Command::CheckTelemetry {
@@ -466,6 +570,7 @@ USAGE:
                 [--warmup <n>] [--instructions <n>]
                 [--telemetry-out <path.jsonl>] [--telemetry-interval <n>]
                 [--telemetry-trace <path.json>]
+                [--os on|off] [--phys-mem <size>] [--thp <f>] [--fault-ns <n>]
   pagecross compare --workload <name> [--prefetcher <p>]
   pagecross sweep --suite <id> [--prefetcher <p>] [--jobs <n>]
   pagecross campaign [--suite <id>] [--prefetcher <p>] [--jobs <n>] [--per-suite <k>]
@@ -475,6 +580,7 @@ USAGE:
                    [--huge <fraction>] [--warmup <n>] [--instructions <n>]
                    [--telemetry-out <path.jsonl>] [--telemetry-interval <n>]
                    [--telemetry-trace <path.json>]
+                   [--os on|off] [--phys-mem <size>] [--thp <f>] [--fault-ns <n>]
   pagecross check-telemetry --jsonl <path>
 
 Suites: spec06 spec17 gap ligra parsec gkb5 qmm_int qmm_fp
@@ -499,6 +605,15 @@ trace-event file viewable in Perfetto (ui.perfetto.dev).
 check-telemetry validates a JSONL file's schema and monotonicity.
 Collection is observation-only: reported counters are bit-identical
 with telemetry on or off.
+
+OS model: --os on adds demand paging, CLOCK frame reclamation, online
+THP promotion, and TLB shootdowns on top of the memory hierarchy.
+--phys-mem caps physical memory (binary suffixes: 64M, 2G; minimum
+64M), --thp sets promotion aggressiveness in [0,1] (a 2MB region
+promotes once ceil((1-thp)*512) of its 4KB pages are resident), and
+--fault-ns sets the minor-fault handler latency in nanoseconds (major
+faults cost 8x). With --os off (the default) every report is
+bit-identical to a build without the OS model.
 ";
 
 /// Prints the standard single-run report block (shared by `run` and
@@ -539,6 +654,19 @@ fn print_report(r: &Report) {
         fmt_opt_ratio(r.prefetch_accuracy()),
         r.pgc_accuracy()
     );
+    // Printed only when the OS model ran, so OS-off output stays
+    // byte-identical to builds without the model (verify.sh diffs it).
+    if r.os != OsStats::default() {
+        println!(
+            "os           minor {}  major {}  reclaims {}  promote {}  demote {}  shootdowns {}",
+            r.os.minor_faults,
+            r.os.major_faults,
+            r.os.reclaims,
+            r.os.thp_promotions,
+            r.os.thp_demotions,
+            r.os.shootdowns
+        );
+    }
 }
 
 /// Runs `builder` over `w`, collecting telemetry when either output path
@@ -553,7 +681,10 @@ fn simulate_with_telemetry(
     trace: Option<&str>,
 ) -> Result<(Report, Vec<String>), CliError> {
     if out.is_none() && trace.is_none() {
-        return Ok((builder.run_workload(w), Vec::new()));
+        let report = builder
+            .try_run_workload(w)
+            .map_err(|e| CliError(format!("simulation aborted: {e}")))?;
+        return Ok((report, Vec::new()));
     }
     let tcfg = TelemetryConfig {
         interval,
@@ -711,6 +842,10 @@ pub fn execute(cmd: Command) -> i32 {
                 } else {
                     di
                 });
+            let builder = match a.os.to_config() {
+                Some(cfg) => builder.os(cfg),
+                None => builder,
+            };
             match simulate_with_telemetry(
                 &builder,
                 w,
@@ -874,6 +1009,10 @@ pub fn execute(cmd: Command) -> i32 {
                 } else {
                     di
                 });
+            let builder = match a.os.to_config() {
+                Some(cfg) => builder.os(cfg),
+                None => builder,
+            };
             match simulate_with_telemetry(
                 &builder,
                 &replay,
@@ -1067,6 +1206,61 @@ mod tests {
 
         assert!(parse(&argv("run --workload gap.s00 --telemetry-interval 0")).is_err());
         assert!(parse(&argv("run --workload gap.s00 --telemetry-interval x")).is_err());
+    }
+
+    #[test]
+    fn os_flags_parse_with_defaults() {
+        let Command::Run(a) = parse(&argv(
+            "run --workload gap.s00 --os on --phys-mem 64M --thp 0.5 --fault-ns 1000",
+        ))
+        .unwrap() else {
+            panic!("expected run")
+        };
+        assert!(a.os.enabled);
+        assert_eq!(a.os.phys_mem_bytes, 64 << 20);
+        assert!((a.os.thp - 0.5).abs() < 1e-12);
+        assert_eq!(a.os.fault_ns, 1_000);
+        let cfg = a.os.to_config().expect("os is on");
+        assert_eq!(cfg.phys_mem_bytes, 64 << 20);
+        assert_eq!(cfg.minor_fault_cycles, 4_000);
+        assert_eq!(cfg.major_fault_cycles, 32_000);
+
+        let Command::Run(b) = parse(&argv("run --workload gap.s00")).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(b.os, OsArgs::default());
+        assert_eq!(b.os.to_config(), None, "off by default");
+
+        let Command::Replay(c) =
+            parse(&argv("replay --trace g.pct --os on --phys-mem 2G")).unwrap()
+        else {
+            panic!("expected replay")
+        };
+        assert!(c.os.enabled);
+        assert_eq!(c.os.phys_mem_bytes, 2 << 30);
+        // Unset size/latency flags fall back to the OsConfig defaults.
+        let cfg = c.os.to_config().expect("os is on");
+        assert_eq!(
+            cfg.minor_fault_cycles,
+            OsConfig::default().minor_fault_cycles
+        );
+
+        assert!(parse(&argv("run --workload gap.s00 --os maybe")).is_err());
+        assert!(parse(&argv("run --workload gap.s00 --phys-mem 63M")).is_err());
+        assert!(parse(&argv("run --workload gap.s00 --phys-mem lots")).is_err());
+        assert!(parse(&argv("run --workload gap.s00 --thp 1.5")).is_err());
+        assert!(parse(&argv("run --workload gap.s00 --fault-ns 0")).is_err());
+    }
+
+    #[test]
+    fn size_literals_parse_binary_suffixes() {
+        assert_eq!(parse_size("64M"), Some(64 << 20));
+        assert_eq!(parse_size("2g"), Some(2 << 30));
+        assert_eq!(parse_size("128k"), Some(128 << 10));
+        assert_eq!(parse_size("4096"), Some(4096));
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("M"), None);
+        assert_eq!(parse_size("12Q"), None);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use moka_pgc::{
     DiscardPgc, DiscardPtw, FilterConfig, FilterPolicy, PageCrossFilter, PermitPgc, PgcPolicy,
     ProgramFeature, SystemFeature,
 };
-use pagecross_mem::{HugePagePolicy, MemConfig, MemorySystem};
+use pagecross_mem::{HugePagePolicy, MemConfig, MemorySystem, OomError};
+use pagecross_os::{Os, OsConfig};
 use pagecross_prefetch::{
     AccessInfo, Berti, Bop, Ipcp, L1dPrefetcher, L2Prefetcher, NextLine, Spp, Stride,
 };
@@ -209,6 +210,7 @@ pub struct SimulationBuilder {
     warmup: u64,
     instructions: u64,
     seed: u64,
+    os: Option<OsConfig>,
 }
 
 impl SimulationBuilder {
@@ -226,6 +228,7 @@ impl SimulationBuilder {
             warmup: 50_000,
             instructions: 100_000,
             seed: 0xC0FFEE,
+            os: None,
         }
     }
 
@@ -288,6 +291,15 @@ impl SimulationBuilder {
     /// Seed for physical frame placement.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables the imitation OS (demand paging, CLOCK reclamation, online
+    /// THP, TLB shootdowns). Physical memory shrinks to
+    /// `cfg.phys_mem_bytes` and the static [`HugePagePolicy`] is ignored:
+    /// 2 MB mappings come only from the OS's own promotion daemon.
+    pub fn os(mut self, cfg: OsConfig) -> Self {
+        self.os = Some(cfg);
         self
     }
 
@@ -380,7 +392,24 @@ impl SimulationBuilder {
             stlb: c.stlb.stats,
             walks: c.walk_stats,
             prefetch: engine.pstats,
+            os: engine.os_stats,
         }
+    }
+
+    /// Memory + OS construction shared by the single and mix paths. With
+    /// the OS on, its physical-memory size overrides the DRAM capacity
+    /// and the static huge-page policy is forced off.
+    fn make_mem_and_os(&self, n: usize) -> (MemorySystem, Option<Os>) {
+        let mut mcfg = MemConfig::table_iv(n as u32);
+        let huge = if let Some(os) = &self.os {
+            mcfg.dram.capacity_bytes = os.phys_mem_bytes;
+            HugePagePolicy::None
+        } else {
+            self.huge_pages.clone()
+        };
+        let mem = MemorySystem::new(mcfg, n, huge, self.seed);
+        let os = self.os.map(|cfg| Os::new(cfg, n));
+        (mem, os)
     }
 
     /// Runs a single workload on a single core. Telemetry collection (when
@@ -391,21 +420,31 @@ impl SimulationBuilder {
         workload: &dyn TraceFactory,
         tcfg: Option<&TelemetryConfig>,
     ) -> (Report, PhaseTimings, Option<TelemetryRun>) {
+        self.try_run_single(workload, tcfg)
+            .expect("out of physical memory")
+    }
+
+    /// Fallible variant of the single-core path: an `Err` means physical
+    /// memory was exhausted with nothing left to reclaim (only possible
+    /// with the OS model on and a pathological footprint/pool ratio).
+    fn try_run_single(
+        &self,
+        workload: &dyn TraceFactory,
+        tcfg: Option<&TelemetryConfig>,
+    ) -> Result<(Report, PhaseTimings, Option<TelemetryRun>), OomError> {
         let t0 = Instant::now();
-        let mut mem = MemorySystem::new(
-            MemConfig::table_iv(1),
-            1,
-            self.huge_pages.clone(),
-            self.seed,
-        );
+        let (mut mem, mut os) = self.make_mem_and_os(1);
         let mut engine = self.make_engine(0);
         let mut trace = workload.build();
         let t_setup = Instant::now();
         for _ in 0..self.warmup {
             let i = trace.next_instr();
-            engine.step(&mut mem, &i);
+            engine.step(&mut mem, &mut os, &i)?;
         }
         let t_warmup = Instant::now();
+        if let Some(o) = os.as_mut() {
+            o.reset_stats();
+        }
         mem.reset_stats();
         engine.reset_stats(&mem);
         if let Some(cfg) = tcfg {
@@ -416,7 +455,7 @@ impl SimulationBuilder {
         }
         for _ in 0..self.instructions {
             let i = trace.next_instr();
-            engine.step(&mut mem, &i);
+            engine.step(&mut mem, &mut os, &i)?;
         }
         engine.finish();
         let telemetry = engine.take_sampler().map(|mut sampler| {
@@ -443,12 +482,19 @@ impl SimulationBuilder {
             measure: t_warmup.elapsed(),
         };
         let report = self.collect_report(workload.name(), &engine, &mem);
-        (report, timings, telemetry)
+        Ok((report, timings, telemetry))
     }
 
     /// Runs a single workload on a single core.
     pub fn run_workload(&self, workload: &dyn TraceFactory) -> Report {
         self.run_single(workload, None).0
+    }
+
+    /// Runs a single workload, surfacing physical-memory exhaustion as an
+    /// error instead of panicking (campaign cells use this so one OOM cell
+    /// doesn't sink the whole grid).
+    pub fn try_run_workload(&self, workload: &dyn TraceFactory) -> Result<Report, OomError> {
+        Ok(self.try_run_single(workload, None)?.0)
     }
 
     /// Runs a single workload with telemetry collection.
@@ -467,19 +513,31 @@ impl SimulationBuilder {
         (report, timings)
     }
 
+    /// Fallible variant of [`Self::run_workload_timed`]: campaign cells use
+    /// this so one out-of-memory cell surfaces as a per-cell failure
+    /// instead of sinking the whole grid.
+    pub fn try_run_workload_timed(
+        &self,
+        workload: &dyn TraceFactory,
+    ) -> Result<(Report, PhaseTimings), OomError> {
+        let (report, timings, _) = self.try_run_single(workload, None)?;
+        Ok((report, timings))
+    }
+
     /// Runs an `n`-core mix (§IV-A2): cores advance in rough cycle
     /// lockstep; each core's statistics freeze when it reaches the measured
     /// instruction quota, and it keeps running (replayed) to preserve
     /// contention until every core finishes.
     pub fn run_mix(&self, workloads: &[&dyn TraceFactory]) -> MixReport {
+        self.try_run_mix(workloads).expect("out of physical memory")
+    }
+
+    /// Fallible variant of [`run_mix`](Self::run_mix); see
+    /// [`try_run_workload`](Self::try_run_workload).
+    pub fn try_run_mix(&self, workloads: &[&dyn TraceFactory]) -> Result<MixReport, OomError> {
         let n = workloads.len();
         assert!(n > 0, "a mix needs at least one workload");
-        let mut mem = MemorySystem::new(
-            MemConfig::table_iv(n as u32),
-            n,
-            self.huge_pages.clone(),
-            self.seed,
-        );
+        let (mut mem, mut os) = self.make_mem_and_os(n);
         let mut engines: Vec<CoreEngine> = (0..n).map(|i| self.make_engine(i)).collect();
         let mut traces: Vec<_> = workloads.iter().map(|w| w.build()).collect();
 
@@ -489,10 +547,13 @@ impl SimulationBuilder {
             let pending: Vec<bool> = warmed.iter().map(|w| !w).collect();
             let i = next_core(&engines, &pending);
             let instr = traces[i].next_instr();
-            engines[i].step(&mut mem, &instr);
+            engines[i].step(&mut mem, &mut os, &instr)?;
             if engines[i].instructions() >= self.warmup {
                 warmed[i] = true;
             }
+        }
+        if let Some(o) = os.as_mut() {
+            o.reset_stats();
         }
         mem.reset_stats();
         for e in &mut engines {
@@ -501,25 +562,28 @@ impl SimulationBuilder {
 
         // Measured phase.
         let mut frozen: Vec<Option<pagecross_types::CoreStats>> = vec![None; n];
+        let mut frozen_os: Vec<pagecross_types::OsStats> = vec![Default::default(); n];
         while frozen.iter().any(Option::is_none) {
             let pending: Vec<bool> = frozen.iter().map(Option::is_none).collect();
             let i = next_core(&engines, &pending);
             let instr = traces[i].next_instr();
-            engines[i].step(&mut mem, &instr);
+            engines[i].step(&mut mem, &mut os, &instr)?;
             if frozen[i].is_none() && engines[i].instructions() >= self.instructions {
                 engines[i].finish();
                 frozen[i] = Some(engines[i].stats);
+                frozen_os[i] = engines[i].os_stats;
             }
         }
 
-        MixReport {
+        Ok(MixReport {
             workloads: workloads.iter().map(|w| w.name().to_string()).collect(),
             cores: frozen
                 .into_iter()
                 .map(|s| s.expect("all cores frozen"))
                 .collect(),
+            os: frozen_os,
             llc: mem.llc.stats,
-        }
+        })
     }
 }
 

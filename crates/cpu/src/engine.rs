@@ -21,12 +21,13 @@ use crate::branch::BranchPredictor;
 use crate::config::{BoundaryMode, CoreConfig};
 use crate::trace::{Instr, Op};
 use moka_pgc::{FeatureContext, PgcPolicy, PolicyAction};
-use pagecross_mem::{Eviction, MemorySystem};
+use pagecross_mem::{Eviction, MemorySystem, OomError};
+use pagecross_os::Os;
 use pagecross_prefetch::{AccessInfo, FnlMma, L1dPrefetcher, L1iPrefetcher, L2Prefetcher};
 use pagecross_telemetry::IntervalSampler;
 use pagecross_types::{
-    CoreStats, PageSize, PhysAddr, PrefetchCandidate, PrefetchStats, StallCause, SystemSnapshot,
-    TelemetryCounters, TraceEvent, VirtAddr, WindowCounters,
+    CoreStats, OsStats, PageSize, PhysAddr, PrefetchCandidate, PrefetchStats, StallCause,
+    SystemSnapshot, TelemetryCounters, TraceEvent, VirtAddr, WindowCounters,
 };
 use std::collections::{HashSet, VecDeque};
 
@@ -41,6 +42,8 @@ enum RetireTag {
     L1dMiss,
     /// Load whose translation required a page walk.
     TlbWalk,
+    /// Access that trapped into the OS (page fault, IPI ack, collapse).
+    OsFault,
 }
 
 impl RetireTag {
@@ -49,6 +52,7 @@ impl RetireTag {
             RetireTag::Other => StallCause::RobFull,
             RetireTag::L1dMiss => StallCause::L1dMiss,
             RetireTag::TlbWalk => StallCause::TlbWalk,
+            RetireTag::OsFault => StallCause::OsFault,
         }
     }
 }
@@ -100,6 +104,9 @@ pub struct CoreEngine {
     pub stats: CoreStats,
     /// Prefetch-issue statistics.
     pub pstats: PrefetchStats,
+    /// Mirror of this core's OS counters (zero when the OS is off),
+    /// refreshed after every step so captures never need the `Os`.
+    pub os_stats: OsStats,
 }
 
 impl CoreEngine {
@@ -146,6 +153,7 @@ impl CoreEngine {
             l2_buf: Vec::with_capacity(8),
             stats: CoreStats::default(),
             pstats: PrefetchStats::default(),
+            os_stats: OsStats::default(),
         }
     }
 
@@ -186,6 +194,7 @@ impl CoreEngine {
         // exact.
         self.stats.stalls.warmup_carry = self.issued_this_cycle as u64;
         self.pstats = PrefetchStats::default();
+        self.os_stats = OsStats::default();
         // Rebase windows so the first measured epoch starts clean.
         self.epoch_base = self.capture(mem);
         // Rebase cycle accounting at the current cycle: measured cycles
@@ -236,6 +245,11 @@ impl CoreEngine {
             pgc_useful: c.l1d.stats.pgc_useful,
             pgc_useless: c.l1d.stats.pgc_useless,
             branch_mispredicts: self.stats.branch_mispredicts,
+            os_minor_faults: self.os_stats.minor_faults,
+            os_major_faults: self.os_stats.major_faults,
+            os_reclaims: self.os_stats.reclaims,
+            os_promotions: self.os_stats.thp_promotions,
+            os_shootdowns: self.os_stats.shootdowns,
         }
     }
 
@@ -253,6 +267,10 @@ impl CoreEngine {
             stlb_miss: c.stlb.stats.misses,
             pgc_useful: c.l1d.stats.pgc_useful,
             pgc_useless: c.l1d.stats.pgc_useless,
+            os_faults: self.os_stats.faults(),
+            os_reclaims: self.os_stats.reclaims,
+            os_promotions: self.os_stats.thp_promotions,
+            os_shootdowns: self.os_stats.shootdowns,
         }
     }
 
@@ -288,10 +306,11 @@ impl CoreEngine {
     fn route_candidate(
         &mut self,
         mem: &mut MemorySystem,
+        os: &Option<Os>,
         cand: PrefetchCandidate,
         trigger_page: PageSize,
         at_cycle: u64,
-    ) {
+    ) -> Result<(), OomError> {
         self.pstats.candidates += 1;
         let crosses = match self.boundary {
             BoundaryMode::Fixed4K => cand.crosses_page_4k(),
@@ -300,9 +319,15 @@ impl CoreEngine {
                 PageSize::Base4K => cand.crosses_page_4k(),
             },
         };
+        // Under the OS model a prefetcher must never fault a page in: a
+        // non-resident target forbids the speculative walk (and the walk
+        // will miss anyway, dropping the prefetch at translation).
+        let resident = os
+            .as_ref()
+            .is_none_or(|o| o.is_resident(self.core_id, cand.target));
 
         if !crosses {
-            let r = mem.issue_prefetch(self.core_id, cand.target, false, at_cycle, true);
+            let r = mem.issue_prefetch(self.core_id, cand.target, false, at_cycle, resident)?;
             if r.issued {
                 self.pstats.inpage_issued += 1;
                 if let Some(ev) = r.l1d_eviction {
@@ -311,7 +336,7 @@ impl CoreEngine {
             } else if r.redundant {
                 self.pstats.redundant += 1;
             }
-            return;
+            return Ok(());
         }
 
         self.pstats.pgc_candidates += 1;
@@ -343,7 +368,13 @@ impl CoreEngine {
                 self.pstats.pgc_discarded += 1;
             }
             PolicyAction::Issue { allow_walk } => {
-                let r = mem.issue_prefetch(self.core_id, cand.target, true, at_cycle, allow_walk);
+                let r = mem.issue_prefetch(
+                    self.core_id,
+                    cand.target,
+                    true,
+                    at_cycle,
+                    allow_walk && resident,
+                )?;
                 if r.walked {
                     self.pstats.speculative_walks += 1;
                 }
@@ -362,6 +393,7 @@ impl CoreEngine {
                 }
             }
         }
+        Ok(())
     }
 
     /// Returns the data-ready cycle and the retire tag describing what the
@@ -369,12 +401,13 @@ impl CoreEngine {
     fn demand_access(
         &mut self,
         mem: &mut MemorySystem,
+        os: &Option<Os>,
         pc: u64,
         va: VirtAddr,
         is_store: bool,
         start: u64,
-    ) -> (u64, RetireTag) {
-        let d = mem.demand_data(self.core_id, va, is_store, start);
+    ) -> Result<(u64, RetireTag), OomError> {
+        let d = mem.demand_data(self.core_id, va, is_store, start)?;
         let tag = if d.walked {
             RetireTag::TlbWalk
         } else if !d.l1d_hit {
@@ -424,7 +457,7 @@ impl CoreEngine {
         }
         let cands = std::mem::take(&mut self.cand_buf);
         for cand in &cands {
-            self.route_candidate(mem, *cand, d.page_size, start);
+            self.route_candidate(mem, os, *cand, d.page_size, start)?;
         }
         self.cand_buf = cands;
 
@@ -440,11 +473,19 @@ impl CoreEngine {
         self.pc_hist = [pc, self.pc_hist[0], self.pc_hist[1]];
         self.delta_hist = [delta, self.delta_hist[0], self.delta_hist[1]];
 
-        (d.ready, tag)
+        Ok((d.ready, tag))
     }
 
-    /// Executes one instruction, advancing the core's clock.
-    pub fn step(&mut self, mem: &mut MemorySystem, instr: &Instr) {
+    /// Executes one instruction, advancing the core's clock. `os` is the
+    /// shared imitation OS (`None` runs the historical infinite-memory
+    /// model bit-for-bit). Errors only when physical memory is truly
+    /// exhausted — nothing left to reclaim.
+    pub fn step(
+        &mut self,
+        mem: &mut MemorySystem,
+        os: &mut Option<Os>,
+        instr: &Instr,
+    ) -> Result<(), OomError> {
         // Issue-width pacing.
         if self.issued_this_cycle >= self.cfg.issue_width {
             self.cycle += 1;
@@ -473,7 +514,10 @@ impl CoreEngine {
         }
         let pc_line = instr.pc >> 6;
         if pc_line != self.last_fetch_line {
-            let f = mem.fetch_instr(self.core_id, VirtAddr::new(instr.pc), self.cycle);
+            if let Some(o) = os.as_mut() {
+                o.pin_code_page(mem, self.core_id, VirtAddr::new(instr.pc), self.cycle)?;
+            }
+            let f = mem.fetch_instr(self.core_id, VirtAddr::new(instr.pc), self.cycle)?;
             self.last_fetch_line = pc_line;
             // Decoupled front-end: the fetch unit runs ahead, so only part
             // of a miss is exposed; model as the full latency minus the
@@ -517,16 +561,35 @@ impl CoreEngine {
                 } else {
                     dispatch
                 };
-                let (ready, tag) = self.demand_access(mem, instr.pc, va, false, start);
+                let os_cycles = match os.as_mut() {
+                    Some(o) => o.before_access(mem, self.core_id, va, start)?,
+                    None => 0,
+                };
+                let (ready, tag) =
+                    self.demand_access(mem, os, instr.pc, va, false, start + os_cycles)?;
                 self.prev_load_completion = ready;
+                let tag = if os_cycles > 0 {
+                    RetireTag::OsFault
+                } else {
+                    tag
+                };
                 (ready, tag)
             }
             Op::Store { va } => {
                 self.stats.stores += 1;
-                self.demand_access(mem, instr.pc, va, true, dispatch);
+                let os_cycles = match os.as_mut() {
+                    Some(o) => o.before_access(mem, self.core_id, va, dispatch)?,
+                    None => 0,
+                };
+                self.demand_access(mem, os, instr.pc, va, true, dispatch + os_cycles)?;
                 // Stores retire via the store buffer: their latency never
-                // blocks the ROB head, so the tag stays unclassified.
-                (dispatch + 1, RetireTag::Other)
+                // blocks the ROB head — but a fault traps at execute, so
+                // the handler latency does.
+                if os_cycles > 0 {
+                    (dispatch + 1 + os_cycles, RetireTag::OsFault)
+                } else {
+                    (dispatch + 1, RetireTag::Other)
+                }
             }
         };
 
@@ -555,6 +618,9 @@ impl CoreEngine {
         // Interval sampling (pure observation; absent unless telemetry is
         // on). Two-phase so the sampler borrow is released before the
         // counter capture reads `self`.
+        if let Some(o) = os.as_ref() {
+            self.os_stats = o.stats(self.core_id);
+        }
         let due = self.sampler.as_mut().is_some_and(|s| s.on_retire());
         if due {
             let now = self.telemetry_counters(mem);
@@ -563,5 +629,6 @@ impl CoreEngine {
                 s.sample(now, policy);
             }
         }
+        Ok(())
     }
 }

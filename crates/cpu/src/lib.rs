@@ -19,6 +19,7 @@ pub mod trace;
 
 pub use builder::{L2PrefetcherKind, PgcPolicyKind, PrefetcherKind, SimulationBuilder};
 pub use config::{BoundaryMode, CoreConfig};
+pub use pagecross_os::{Os, OsConfig};
 pub use pagecross_telemetry::{PhaseTimings, TelemetryConfig, TelemetryRun};
 pub use report::{MixReport, Report};
 pub use trace::{FnTrace, Instr, Op, TraceFactory, TraceSource};

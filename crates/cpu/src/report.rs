@@ -1,6 +1,6 @@
 //! Simulation reports: everything the paper's figures and tables read.
 
-use pagecross_types::{CacheStats, CoreStats, PrefetchStats, TlbStats, WalkStats};
+use pagecross_types::{CacheStats, CoreStats, OsStats, PrefetchStats, TlbStats, WalkStats};
 
 /// The result of one single-core simulation.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -29,6 +29,8 @@ pub struct Report {
     pub walks: WalkStats,
     /// Prefetch-issue statistics.
     pub prefetch: PrefetchStats,
+    /// Imitation-OS counters (all zero when the OS model is off).
+    pub os: OsStats,
 }
 
 impl Report {
@@ -124,6 +126,8 @@ pub struct MixReport {
     pub workloads: Vec<String>,
     /// Per-core statistics, frozen when each core hit its quota.
     pub cores: Vec<CoreStats>,
+    /// Per-core imitation-OS counters (empty or zeroed when off).
+    pub os: Vec<OsStats>,
     /// Shared LLC statistics at the end of the run.
     pub llc: CacheStats,
 }

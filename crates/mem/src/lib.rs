@@ -24,8 +24,8 @@
 //! use pagecross_types::VirtAddr;
 //!
 //! let mut mem = MemorySystem::new(MemConfig::table_iv(1), 1, HugePagePolicy::None, 7);
-//! let cold = mem.demand_data(0, VirtAddr::new(0x1234_5678), false, 0);
-//! let warm = mem.demand_data(0, VirtAddr::new(0x1234_5678), false, 10_000);
+//! let cold = mem.demand_data(0, VirtAddr::new(0x1234_5678), false, 0).unwrap();
+//! let warm = mem.demand_data(0, VirtAddr::new(0x1234_5678), false, 10_000).unwrap();
 //! assert!(warm.ready - 10_000 < cold.ready, "second access is cached");
 //! ```
 
@@ -45,4 +45,4 @@ pub use mshr::Mshr;
 pub use page_table::{Level, PageWalker, WalkPlan};
 pub use system::{CoreMem, DemandDataResult, FetchResult, MemorySystem, PrefetchIssueResult};
 pub use tlb::{Tlb, Translation};
-pub use vmem::{FrameAllocator, HugePagePolicy, Vmem};
+pub use vmem::{FrameAllocator, HugePagePolicy, OomError, Vmem};

@@ -15,7 +15,7 @@
 
 use crate::config::PscConfig;
 use crate::tlb::Translation;
-use crate::vmem::{FrameAllocator, Vmem};
+use crate::vmem::{FrameAllocator, OomError, Vmem};
 use pagecross_types::{PageSize, PhysAddr, VirtAddr, PAGE_SHIFT_4K};
 use std::collections::HashMap;
 
@@ -99,6 +99,16 @@ impl Psc {
             *victim = (key, tick);
         }
     }
+
+    /// Drops the entry for `key` (shootdown); no statistics side effects.
+    fn invalidate(&mut self, key: u64) -> bool {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.swap_remove(i);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// The plan for one page walk: the PTE lines to reference (pointer-chased in
@@ -116,6 +126,9 @@ pub struct WalkPlan {
 /// Per-address-space page table with walker state (PSCs + node directory).
 #[derive(Clone, Debug)]
 pub struct PageWalker {
+    /// Core this walker's address space belongs to (selects the PT-node
+    /// frame slice in the allocator).
+    core: u32,
     /// Root (PML5) node frame.
     root_frame: u64,
     /// Interior node frames keyed by (level-below-the-node, va prefix).
@@ -127,10 +140,17 @@ pub struct PageWalker {
 }
 
 impl PageWalker {
-    /// Creates a walker with the given PSC geometry; allocates the root node.
+    /// Creates a core-0 walker with the given PSC geometry; allocates the
+    /// root node.
     pub fn new(cfg: PscConfig, frames: &mut FrameAllocator) -> Self {
+        Self::for_core(cfg, frames, 0)
+    }
+
+    /// Creates a walker whose PT nodes come from `core`'s frame slice.
+    pub fn for_core(cfg: PscConfig, frames: &mut FrameAllocator, core: u32) -> Self {
         Self {
-            root_frame: frames.alloc_pt_node(),
+            core,
+            root_frame: frames.alloc_pt_node(core),
             nodes: HashMap::new(),
             psc_l5: Psc::new(cfg.l5_entries),
             psc_l4: Psc::new(cfg.l4_entries),
@@ -140,10 +160,11 @@ impl PageWalker {
     }
 
     fn node_frame(&mut self, level: u8, prefix: u64, frames: &mut FrameAllocator) -> u64 {
+        let core = self.core;
         *self
             .nodes
             .entry((level, prefix))
-            .or_insert_with(|| frames.alloc_pt_node())
+            .or_insert_with(|| frames.alloc_pt_node(core))
     }
 
     fn pte_addr(frame: u64, index: u64) -> PhysAddr {
@@ -157,8 +178,13 @@ impl PageWalker {
     /// first touch, so a speculative prefetch walk also materialises the
     /// mapping — the simulator equivalent of the OS having pre-populated the
     /// page table).
-    pub fn walk(&mut self, va: VirtAddr, vmem: &mut Vmem, frames: &mut FrameAllocator) -> WalkPlan {
-        let translation = vmem.translate(va, frames);
+    pub fn walk(
+        &mut self,
+        va: VirtAddr,
+        vmem: &mut Vmem,
+        frames: &mut FrameAllocator,
+    ) -> Result<WalkPlan, OomError> {
+        let translation = vmem.translate(va, frames)?;
         let is_huge = translation.size == PageSize::Huge2M;
 
         let p5 = va.raw() >> Level::L5.shift(); // key for PSC-L5 (PML5E result)
@@ -219,16 +245,31 @@ impl PageWalker {
             self.psc_l2.fill(p2);
         }
 
-        WalkPlan {
+        Ok(WalkPlan {
             refs,
             translation,
             levels_skipped: skipped,
-        }
+        })
     }
 
     /// Total PSC hits across all levels (diagnostics).
     pub fn psc_hits(&self) -> u64 {
         self.psc_l5.hits + self.psc_l4.hits + self.psc_l3.hits + self.psc_l2.hits
+    }
+
+    /// Shootdown of a single 4 KB page: conservatively drops the PSC-L2
+    /// entry covering it (the cached PT-node pointer may now lead to a
+    /// stale leaf). Returns whether an entry was dropped.
+    pub fn invalidate_psc_page(&mut self, vpn4k: u64) -> bool {
+        self.psc_l2.invalidate(vpn4k >> 9)
+    }
+
+    /// Shootdown of an aligned 2 MB region after THP promotion/demotion:
+    /// drops the PSC-L2 entry for the region and, conservatively, the
+    /// PSC-L3 entry above it (the PD leaf changed shape). Returns the
+    /// number of entries dropped.
+    pub fn invalidate_psc_region(&mut self, vpn2m: u64) -> u32 {
+        u32::from(self.psc_l2.invalidate(vpn2m)) + u32::from(self.psc_l3.invalidate(vpn2m >> 9))
     }
 }
 
@@ -254,7 +295,9 @@ mod tests {
     #[test]
     fn cold_walk_references_five_levels() {
         let (mut w, mut vm, mut fa) = setup();
-        let plan = w.walk(VirtAddr::new(0x7000_1234), &mut vm, &mut fa);
+        let plan = w
+            .walk(VirtAddr::new(0x7000_1234), &mut vm, &mut fa)
+            .unwrap();
         assert_eq!(plan.refs.len(), 5);
         assert_eq!(plan.levels_skipped, 0);
         assert_eq!(plan.translation.size, PageSize::Base4K);
@@ -265,8 +308,8 @@ mod tests {
         let (mut w, mut vm, mut fa) = setup();
         let a = VirtAddr::new(0x7000_1000);
         let b = VirtAddr::new(0x7000_2000); // same PT node (same 2MB region)
-        w.walk(a, &mut vm, &mut fa);
-        let plan = w.walk(b, &mut vm, &mut fa);
+        w.walk(a, &mut vm, &mut fa).unwrap();
+        let plan = w.walk(b, &mut vm, &mut fa).unwrap();
         assert_eq!(
             plan.refs.len(),
             1,
@@ -278,8 +321,12 @@ mod tests {
     #[test]
     fn adjacent_pages_share_pte_cache_line() {
         let (mut w, mut vm, mut fa) = setup();
-        let a = w.walk(VirtAddr::new(0x7000_0000), &mut vm, &mut fa);
-        let b = w.walk(VirtAddr::new(0x7000_1000), &mut vm, &mut fa);
+        let a = w
+            .walk(VirtAddr::new(0x7000_0000), &mut vm, &mut fa)
+            .unwrap();
+        let b = w
+            .walk(VirtAddr::new(0x7000_1000), &mut vm, &mut fa)
+            .unwrap();
         let pte_a = *a.refs.last().unwrap();
         let pte_b = *b.refs.last().unwrap();
         assert_eq!(pte_a.line(), pte_b.line(), "adjacent PTEs share a 64B line");
@@ -289,9 +336,12 @@ mod tests {
     #[test]
     fn distant_region_misses_deep_psc() {
         let (mut w, mut vm, mut fa) = setup();
-        w.walk(VirtAddr::new(0x7000_1000), &mut vm, &mut fa);
+        w.walk(VirtAddr::new(0x7000_1000), &mut vm, &mut fa)
+            .unwrap();
         // Different 1GB region: PSC-L2/L3 miss, PSC-L4 should hit.
-        let plan = w.walk(VirtAddr::new(0x40_7000_1000), &mut vm, &mut fa);
+        let plan = w
+            .walk(VirtAddr::new(0x40_7000_1000), &mut vm, &mut fa)
+            .unwrap();
         assert_eq!(plan.refs.len(), 3, "PSC-L4 hit walks PDPT, PD, PT");
     }
 
@@ -308,11 +358,15 @@ mod tests {
             &mut fa,
         );
         let mut vm = Vmem::new(HugePagePolicy::All, 9);
-        let plan = w.walk(VirtAddr::new(0x7000_1234), &mut vm, &mut fa);
+        let plan = w
+            .walk(VirtAddr::new(0x7000_1234), &mut vm, &mut fa)
+            .unwrap();
         assert_eq!(plan.refs.len(), 4, "2MB walk: PML5, PML4, PDPT, PD");
         assert_eq!(plan.translation.size, PageSize::Huge2M);
         // Second walk in the same region: PSC-L3 hit -> single PD reference.
-        let plan2 = w.walk(VirtAddr::new(0x7000_1234 + 0x3000), &mut vm, &mut fa);
+        let plan2 = w
+            .walk(VirtAddr::new(0x7000_1234 + 0x3000), &mut vm, &mut fa)
+            .unwrap();
         assert_eq!(plan2.refs.len(), 1);
     }
 
@@ -320,8 +374,8 @@ mod tests {
     fn translation_matches_vmem() {
         let (mut w, mut vm, mut fa) = setup();
         let va = VirtAddr::new(0x1234_5678);
-        let plan = w.walk(va, &mut vm, &mut fa);
-        let direct = vm.translate(va, &mut fa);
+        let plan = w.walk(va, &mut vm, &mut fa).unwrap();
+        let direct = vm.translate(va, &mut fa).unwrap();
         assert_eq!(plan.translation, direct);
     }
 
@@ -340,9 +394,33 @@ mod tests {
     #[test]
     fn psc_hit_counter_increases() {
         let (mut w, mut vm, mut fa) = setup();
-        w.walk(VirtAddr::new(0x1000), &mut vm, &mut fa);
+        w.walk(VirtAddr::new(0x1000), &mut vm, &mut fa).unwrap();
         let before = w.psc_hits();
-        w.walk(VirtAddr::new(0x2000), &mut vm, &mut fa);
+        w.walk(VirtAddr::new(0x2000), &mut vm, &mut fa).unwrap();
         assert!(w.psc_hits() > before);
+    }
+
+    #[test]
+    fn psc_invalidation_forces_a_deeper_walk() {
+        let (mut w, mut vm, mut fa) = setup();
+        let va = VirtAddr::new(0x7000_1000);
+        w.walk(va, &mut vm, &mut fa).unwrap();
+        assert_eq!(
+            w.walk(va, &mut vm, &mut fa).unwrap().refs.len(),
+            1,
+            "warm walk: PSC-L2 hit"
+        );
+        assert!(w.invalidate_psc_page(va.raw() >> PAGE_SHIFT_4K));
+        assert_eq!(
+            w.walk(va, &mut vm, &mut fa).unwrap().refs.len(),
+            2,
+            "PSC-L2 shot down, PSC-L3 still warm: PD + PT references"
+        );
+        assert_eq!(w.invalidate_psc_region(va.raw() >> Level::L2.shift()), 2);
+        assert_eq!(
+            w.walk(va, &mut vm, &mut fa).unwrap().refs.len(),
+            3,
+            "region shootdown drops PSC-L2 and PSC-L3: PDPT, PD, PT"
+        );
     }
 }

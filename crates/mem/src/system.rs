@@ -14,7 +14,7 @@ use crate::dram::Dram;
 use crate::mshr::Mshr;
 use crate::page_table::PageWalker;
 use crate::tlb::{Tlb, Translation};
-use crate::vmem::{FrameAllocator, HugePagePolicy, Vmem};
+use crate::vmem::{FrameAllocator, HugePagePolicy, OomError, Vmem};
 use pagecross_telemetry::EventRing;
 use pagecross_types::{
     LineAddr, PageSize, PhysAddr, TraceEvent, TranslationOutcome, VirtAddr, WalkStats,
@@ -141,7 +141,7 @@ impl MemorySystem {
     /// Panics if `n_cores == 0`.
     pub fn new(cfg: MemConfig, n_cores: usize, huge: HugePagePolicy, seed: u64) -> Self {
         assert!(n_cores > 0, "need at least one core");
-        let mut frames = FrameAllocator::new(cfg.dram.capacity_bytes, seed);
+        let mut frames = FrameAllocator::with_cores(cfg.dram.capacity_bytes, seed, n_cores as u32);
         let cores = (0..n_cores)
             .map(|i| CoreMem {
                 l1i: Cache::new("L1I", cfg.l1i),
@@ -150,8 +150,12 @@ impl MemorySystem {
                 dtlb: Tlb::new("dTLB", cfg.dtlb),
                 itlb: Tlb::new("iTLB", cfg.itlb),
                 stlb: Tlb::new("sTLB", cfg.stlb),
-                walker: PageWalker::new(cfg.psc, &mut frames),
-                vmem: Vmem::new(huge.clone(), seed ^ (0x9E37 + i as u64 * 0x61C8_8646)),
+                walker: PageWalker::for_core(cfg.psc, &mut frames, i as u32),
+                vmem: Vmem::for_core(
+                    huge.clone(),
+                    seed ^ (0x9E37 + i as u64 * 0x61C8_8646),
+                    i as u32,
+                ),
                 walk_stats: WalkStats::default(),
                 mshr_l1i: Mshr::new(cfg.l1i.mshr_entries),
                 mshr_l1d: Mshr::new(cfg.l1d.mshr_entries),
@@ -305,19 +309,19 @@ impl MemorySystem {
         core: usize,
         va: VirtAddr,
         cycle: u64,
-    ) -> (Translation, u64, bool, bool, bool) {
+    ) -> Result<(Translation, u64, bool, bool, bool), OomError> {
         let dtlb_lat = self.cfg.dtlb.latency;
         let stlb_lat = self.cfg.stlb.latency;
         if let Some(t) = self.cores[core].dtlb.lookup(va) {
-            return (t, cycle + dtlb_lat, true, false, false);
+            return Ok((t, cycle + dtlb_lat, true, false, false));
         }
         if let Some(t) = self.cores[core].stlb.lookup(va) {
             self.cores[core].dtlb.fill(t, false);
-            return (t, cycle + dtlb_lat + stlb_lat, false, true, false);
+            return Ok((t, cycle + dtlb_lat + stlb_lat, false, true, false));
         }
         let t0 = cycle + dtlb_lat + stlb_lat;
-        let (t, ready) = self.do_walk(core, va, t0, false);
-        (t, ready, false, false, true)
+        let (t, ready) = self.do_walk(core, va, t0, false)?;
+        Ok((t, ready, false, false, true))
     }
 
     /// Performs a page walk starting at `cycle`, charging PSC latency plus
@@ -328,12 +332,12 @@ impl MemorySystem {
         va: VirtAddr,
         cycle: u64,
         speculative: bool,
-    ) -> (Translation, u64) {
+    ) -> Result<(Translation, u64), OomError> {
         let plan = {
             let c = &mut self.cores[core];
             // Split borrows inside one core are fine.
             let CoreMem { walker, vmem, .. } = c;
-            walker.walk(va, vmem, &mut self.frames)
+            walker.walk(va, vmem, &mut self.frames)?
         };
         {
             let ws = &mut self.cores[core].walk_stats;
@@ -365,7 +369,7 @@ impl MemorySystem {
         let tr = plan.translation;
         self.cores[core].stlb.fill(tr, speculative);
         self.cores[core].dtlb.fill(tr, speculative);
-        (tr, t)
+        Ok((tr, t))
     }
 
     /// One walker reference through the L1D path (neutral statistics).
@@ -396,8 +400,9 @@ impl MemorySystem {
         va: VirtAddr,
         is_store: bool,
         cycle: u64,
-    ) -> DemandDataResult {
-        let (tr, trans_ready, dtlb_hit, stlb_hit, walked) = self.translate_demand(core, va, cycle);
+    ) -> Result<DemandDataResult, OomError> {
+        let (tr, trans_ready, dtlb_hit, stlb_hit, walked) =
+            self.translate_demand(core, va, cycle)?;
         let pa = PhysAddr::new(tr.apply(va));
         let line = pa.line();
         let l1d_lat = self.cfg.l1d.latency;
@@ -414,7 +419,7 @@ impl MemorySystem {
             // usable once the outstanding MSHR entry completes.
             let inflight = self.cores[core].mshr_l1d.lookup(line, start);
             let ready = inflight.map_or(start + l1d_lat, |t| t.max(start + l1d_lat));
-            return DemandDataResult {
+            return Ok(DemandDataResult {
                 ready,
                 l1d_hit: true,
                 first_hit_on_prefetch: lookup.first_hit_on_prefetch,
@@ -426,12 +431,12 @@ impl MemorySystem {
                 walked,
                 l2_access: None,
                 page_size: tr.size,
-            };
+            });
         }
 
         // Miss path.
         if let Some(t) = self.cores[core].mshr_l1d.lookup(line, start) {
-            return DemandDataResult {
+            return Ok(DemandDataResult {
                 ready: t.max(start + l1d_lat),
                 l1d_hit: false,
                 first_hit_on_prefetch: false,
@@ -443,7 +448,7 @@ impl MemorySystem {
                 walked,
                 l2_access: None,
                 page_size: tr.size,
-            };
+            });
         }
         let l2_hit_probe = self.cores[core].l2c.probe(line);
         let below = self.fetch_from_l2(core, line, start + l1d_lat, Traffic::Demand { is_store });
@@ -463,7 +468,7 @@ impl MemorySystem {
                 self.push_eviction_event(core, start, ev);
             }
         }
-        DemandDataResult {
+        Ok(DemandDataResult {
             ready,
             l1d_hit: false,
             first_hit_on_prefetch: false,
@@ -475,11 +480,16 @@ impl MemorySystem {
             walked,
             l2_access: Some((pa, l2_hit_probe)),
             page_size: tr.size,
-        }
+        })
     }
 
     /// An instruction fetch from `core` at virtual address `va`.
-    pub fn fetch_instr(&mut self, core: usize, va: VirtAddr, cycle: u64) -> FetchResult {
+    pub fn fetch_instr(
+        &mut self,
+        core: usize,
+        va: VirtAddr,
+        cycle: u64,
+    ) -> Result<FetchResult, OomError> {
         // iTLB -> sTLB -> walk.
         let itlb_lat = self.cfg.itlb.latency;
         let stlb_lat = self.cfg.stlb.latency;
@@ -489,7 +499,7 @@ impl MemorySystem {
             self.cores[core].itlb.fill(t, false);
             (t, cycle + itlb_lat + stlb_lat, false)
         } else {
-            let (t, ready) = self.do_walk(core, va, cycle + itlb_lat + stlb_lat, false);
+            let (t, ready) = self.do_walk(core, va, cycle + itlb_lat + stlb_lat, false)?;
             self.cores[core].itlb.fill(t, false);
             (t, ready, false)
         };
@@ -501,24 +511,24 @@ impl MemorySystem {
         if lookup.hit {
             let inflight = self.cores[core].mshr_l1i.lookup(line, start);
             let ready = inflight.map_or(start + l1i_lat, |t| t.max(start + l1i_lat));
-            return FetchResult {
+            return Ok(FetchResult {
                 ready,
                 l1i_hit: true,
-            };
+            });
         }
         if let Some(t) = self.cores[core].mshr_l1i.lookup(line, start) {
-            return FetchResult {
+            return Ok(FetchResult {
                 ready: t.max(start + l1i_lat),
                 l1i_hit: false,
-            };
+            });
         }
         let below = self.fetch_from_l2(core, line, start + l1i_lat, Traffic::Fetch);
         let ready = self.cores[core].mshr_l1i.allocate(line, start, below);
         self.cores[core].l1i.fill(line, FillKind::Demand, false);
-        FetchResult {
+        Ok(FetchResult {
             ready,
             l1i_hit: lookup.hit,
-        }
+        })
     }
 
     /// Probes the TLB hierarchy for a prefetch target without side effects
@@ -548,7 +558,7 @@ impl MemorySystem {
         page_cross: bool,
         cycle: u64,
         allow_walk: bool,
-    ) -> PrefetchIssueResult {
+    ) -> Result<PrefetchIssueResult, OomError> {
         let outcome = self.probe_translation(core, va);
         let (tr, t_ready, walked) = match outcome {
             TranslationOutcome::DtlbHit => {
@@ -569,17 +579,17 @@ impl MemorySystem {
                 self.cores[core].dtlb.prefetch_probe(va);
                 self.cores[core].stlb.prefetch_probe(va);
                 if !allow_walk {
-                    return PrefetchIssueResult {
+                    return Ok(PrefetchIssueResult {
                         issued: false,
                         redundant: false,
                         walked: false,
                         translation: outcome,
                         paddr: None,
                         l1d_eviction: None,
-                    };
+                    });
                 }
                 let t0 = cycle + self.cfg.dtlb.latency + self.cfg.stlb.latency;
-                let (t, ready) = self.do_walk(core, va, t0, true);
+                let (t, ready) = self.do_walk(core, va, t0, true)?;
                 (t, ready, true)
             }
         };
@@ -588,14 +598,14 @@ impl MemorySystem {
         if self.cores[core].l1d.probe(line)
             || self.cores[core].mshr_l1d.lookup(line, t_ready).is_some()
         {
-            return PrefetchIssueResult {
+            return Ok(PrefetchIssueResult {
                 issued: false,
                 redundant: true,
                 walked,
                 translation: outcome,
                 paddr: Some(pa),
                 l1d_eviction: None,
-            };
+            });
         }
         let below = self.fetch_from_l2(core, line, t_ready, Traffic::PrefetchL1 { page_cross });
         self.cores[core]
@@ -621,14 +631,14 @@ impl MemorySystem {
                 self.push_eviction_event(core, t_ready, ev);
             }
         }
-        PrefetchIssueResult {
+        Ok(PrefetchIssueResult {
             issued: true,
             redundant: false,
             walked,
             translation: outcome,
             paddr: Some(pa),
             l1d_eviction: eviction,
-        }
+        })
     }
 
     /// Issues an L1I instruction prefetch for virtual address `va`.
@@ -701,11 +711,54 @@ impl MemorySystem {
     }
 
     /// Translates without timing (used by tests and trace tooling).
-    pub fn translate_untimed(&mut self, core: usize, va: VirtAddr) -> PhysAddr {
+    pub fn translate_untimed(&mut self, core: usize, va: VirtAddr) -> Result<PhysAddr, OomError> {
         let c = &mut self.cores[core];
         let CoreMem { vmem, .. } = c;
-        let tr = vmem.translate(va, &mut self.frames);
-        PhysAddr::new(tr.apply(va))
+        let tr = vmem.translate(va, &mut self.frames)?;
+        Ok(PhysAddr::new(tr.apply(va)))
+    }
+
+    // ----- OS-facing mechanism (policy lives in `pagecross-os`) ------------------
+
+    /// Split borrow of one core's address space together with the shared
+    /// frame allocator, so an external pager can allocate and install
+    /// mappings in one step.
+    pub fn vmem_and_frames(&mut self, core: usize) -> (&mut Vmem, &mut FrameAllocator) {
+        (&mut self.cores[core].vmem, &mut self.frames)
+    }
+
+    /// Shared frame allocator (reclaim bookkeeping).
+    pub fn frames_mut(&mut self) -> &mut FrameAllocator {
+        &mut self.frames
+    }
+
+    /// TLB-shootdown flush of one 4 KB page across every core: drops
+    /// matching dTLB/iTLB/sTLB entries and conservatively the PSC entry
+    /// covering the page. Returns the number of entries dropped (the IPI
+    /// cost itself is charged by the OS model, not here).
+    pub fn shootdown_page(&mut self, vpn4k: u64) -> u32 {
+        let mut dropped = 0;
+        for c in &mut self.cores {
+            dropped += u32::from(c.dtlb.invalidate_page(vpn4k, PageSize::Base4K));
+            dropped += u32::from(c.itlb.invalidate_page(vpn4k, PageSize::Base4K));
+            dropped += u32::from(c.stlb.invalidate_page(vpn4k, PageSize::Base4K));
+            dropped += u32::from(c.walker.invalidate_psc_page(vpn4k));
+        }
+        dropped
+    }
+
+    /// TLB-shootdown flush of an aligned 2 MB region across every core
+    /// (both granularities plus the PSC entries above the region).
+    /// Returns the number of entries dropped.
+    pub fn shootdown_region(&mut self, vpn2m: u64) -> u32 {
+        let mut dropped = 0;
+        for c in &mut self.cores {
+            dropped += c.dtlb.invalidate_region(vpn2m);
+            dropped += c.itlb.invalidate_region(vpn2m);
+            dropped += c.stlb.invalidate_region(vpn2m);
+            dropped += c.walker.invalidate_psc_region(vpn2m);
+        }
+        dropped
     }
 }
 
@@ -720,7 +773,9 @@ mod tests {
     #[test]
     fn cold_access_pays_full_chain() {
         let mut m = sys();
-        let r = m.demand_data(0, VirtAddr::new(0x1000_0000), false, 0);
+        let r = m
+            .demand_data(0, VirtAddr::new(0x1000_0000), false, 0)
+            .unwrap();
         assert!(!r.l1d_hit);
         assert!(r.walked, "cold TLB requires a walk");
         // Walk (5 refs through DRAM) + miss chain: far more than DRAM latency.
@@ -731,8 +786,8 @@ mod tests {
     fn warm_access_hits_l1d_fast() {
         let mut m = sys();
         let va = VirtAddr::new(0x1000_0000);
-        m.demand_data(0, va, false, 0);
-        let r = m.demand_data(0, va, false, 10_000);
+        m.demand_data(0, va, false, 0).unwrap();
+        let r = m.demand_data(0, va, false, 10_000).unwrap();
         assert!(r.l1d_hit);
         assert!(r.dtlb_hit);
         assert_eq!(
@@ -745,8 +800,11 @@ mod tests {
     #[test]
     fn same_page_second_access_no_walk() {
         let mut m = sys();
-        m.demand_data(0, VirtAddr::new(0x1000_0000), false, 0);
-        let r = m.demand_data(0, VirtAddr::new(0x1000_0040), false, 1_000);
+        m.demand_data(0, VirtAddr::new(0x1000_0000), false, 0)
+            .unwrap();
+        let r = m
+            .demand_data(0, VirtAddr::new(0x1000_0040), false, 1_000)
+            .unwrap();
         assert!(!r.walked);
         assert!(r.dtlb_hit);
     }
@@ -757,10 +815,10 @@ mod tests {
         let va = VirtAddr::new(0x2000_0000);
         // Touch the page once so translation is warm, then force eviction of
         // nothing — access a new line on the same page twice quickly.
-        m.demand_data(0, va, false, 0);
+        m.demand_data(0, va, false, 0).unwrap();
         let va2 = VirtAddr::new(0x2000_0080);
-        let a = m.demand_data(0, va2, false, 1_000);
-        let b = m.demand_data(0, va2.offset(8), false, 1_001);
+        let a = m.demand_data(0, va2, false, 1_000).unwrap();
+        let b = m.demand_data(0, va2.offset(8), false, 1_001).unwrap();
         assert!(!a.l1d_hit, "first access misses");
         assert!(
             b.ready >= a.ready,
@@ -776,14 +834,14 @@ mod tests {
     fn prefetch_fills_l1d_and_is_redundant_after() {
         let mut m = sys();
         let trig = VirtAddr::new(0x3000_0000);
-        m.demand_data(0, trig, false, 0);
+        m.demand_data(0, trig, false, 0).unwrap();
         let tgt = VirtAddr::new(0x3000_0400);
-        let r = m.issue_prefetch(0, tgt, false, 100, true);
+        let r = m.issue_prefetch(0, tgt, false, 100, true).unwrap();
         assert!(r.issued);
-        let again = m.issue_prefetch(0, tgt, false, 20_000, true);
+        let again = m.issue_prefetch(0, tgt, false, 20_000, true).unwrap();
         assert!(again.redundant);
         // Demand access now hits and promotes the prefetch to useful.
-        let d = m.demand_data(0, tgt, false, 30_000);
+        let d = m.demand_data(0, tgt, false, 30_000).unwrap();
         assert!(d.l1d_hit && d.first_hit_on_prefetch);
     }
 
@@ -791,17 +849,17 @@ mod tests {
     fn page_cross_prefetch_walks_when_allowed() {
         let mut m = sys();
         let trig = VirtAddr::new(0x4000_0FC0); // last line of its page
-        m.demand_data(0, trig, false, 0);
+        m.demand_data(0, trig, false, 0).unwrap();
         let tgt = trig.offset(64); // next page, cold TLB
         assert_eq!(
             m.probe_translation(0, tgt),
             TranslationOutcome::RequiresWalk
         );
-        let r = m.issue_prefetch(0, tgt, true, 1_000, true);
+        let r = m.issue_prefetch(0, tgt, true, 1_000, true).unwrap();
         assert!(r.issued && r.walked);
         assert_eq!(m.core(0).walk_stats.prefetch_walks, 1);
         // The walk filled the TLBs: a demand access to that page now needs no walk.
-        let d = m.demand_data(0, tgt, false, 50_000);
+        let d = m.demand_data(0, tgt, false, 50_000).unwrap();
         assert!(!d.walked);
         assert!(d.l1d_hit, "prefetched block serves the demand");
         assert!(d.hit_pcb, "block carries the Page-Cross Bit");
@@ -811,7 +869,7 @@ mod tests {
     fn discard_ptw_semantics() {
         let mut m = sys();
         let tgt = VirtAddr::new(0x5000_0000);
-        let r = m.issue_prefetch(0, tgt, true, 0, false);
+        let r = m.issue_prefetch(0, tgt, true, 0, false).unwrap();
         assert!(!r.issued && !r.walked);
         assert_eq!(r.translation, TranslationOutcome::RequiresWalk);
         assert_eq!(m.core(0).walk_stats.prefetch_walks, 0);
@@ -820,12 +878,14 @@ mod tests {
     #[test]
     fn walk_consumes_memory_refs() {
         let mut m = sys();
-        m.demand_data(0, VirtAddr::new(0x6000_0000), false, 0);
+        m.demand_data(0, VirtAddr::new(0x6000_0000), false, 0)
+            .unwrap();
         let ws = m.core(0).walk_stats;
         assert_eq!(ws.demand_walks, 1);
         assert_eq!(ws.memory_refs, 5, "cold 5-level walk references 5 PTEs");
         // Second walk to a nearby page: PSC-L2 hit -> 1 ref.
-        m.demand_data(0, VirtAddr::new(0x6000_0000 + (100 << 12)), false, 100_000);
+        m.demand_data(0, VirtAddr::new(0x6000_0000 + (100 << 12)), false, 100_000)
+            .unwrap();
         // Note: +100 pages stays in the same 2MB region only if < 512 pages.
         let ws2 = m.core(0).walk_stats;
         assert_eq!(ws2.demand_walks, 2);
@@ -836,9 +896,9 @@ mod tests {
     fn fetch_path_works() {
         let mut m = sys();
         let pc = VirtAddr::new(0x40_0000);
-        let f1 = m.fetch_instr(0, pc, 0);
+        let f1 = m.fetch_instr(0, pc, 0).unwrap();
         assert!(!f1.l1i_hit);
-        let f2 = m.fetch_instr(0, pc, 10_000);
+        let f2 = m.fetch_instr(0, pc, 10_000).unwrap();
         assert!(f2.l1i_hit);
         assert_eq!(f2.ready, 10_000 + 4);
     }
@@ -847,12 +907,13 @@ mod tests {
     fn stlb_hit_path() {
         let mut m = sys();
         let va = VirtAddr::new(0x7000_0000);
-        m.demand_data(0, va, false, 0);
+        m.demand_data(0, va, false, 0).unwrap();
         // Blow the dTLB (64 entries, 4-way) with many distinct pages.
         for p in 1..200u64 {
-            m.demand_data(0, VirtAddr::new(0x7000_0000 + (p << 12)), false, p * 2_000);
+            m.demand_data(0, VirtAddr::new(0x7000_0000 + (p << 12)), false, p * 2_000)
+                .unwrap();
         }
-        let r = m.demand_data(0, va, false, 1_000_000);
+        let r = m.demand_data(0, va, false, 1_000_000).unwrap();
         assert!(!r.dtlb_hit, "dTLB should have evicted the first page");
         assert!(r.stlb_hit, "sTLB (1536 entries) still holds it");
         assert!(!r.walked);
@@ -862,13 +923,13 @@ mod tests {
     fn multicore_private_structures_are_independent() {
         let mut m = MemorySystem::new(MemConfig::table_iv(2), 2, HugePagePolicy::None, 1);
         let va = VirtAddr::new(0x8000_0000);
-        m.demand_data(0, va, false, 0);
-        let r1 = m.demand_data(1, va, false, 10);
+        m.demand_data(0, va, false, 0).unwrap();
+        let r1 = m.demand_data(1, va, false, 10).unwrap();
         assert!(!r1.l1d_hit, "core 1 has its own cold L1D");
         assert!(r1.walked, "core 1 has its own cold TLB and address space");
         // Same VA maps to different frames in the two address spaces.
-        let p0 = m.translate_untimed(0, va);
-        let p1 = m.translate_untimed(1, va);
+        let p0 = m.translate_untimed(0, va).unwrap();
+        let p1 = m.translate_untimed(1, va).unwrap();
         assert_ne!(p0, p1);
     }
 
@@ -876,7 +937,7 @@ mod tests {
     fn l2_prefetch_fills_l2_only() {
         let mut m = sys();
         let va = VirtAddr::new(0x9000_0000);
-        let d = m.demand_data(0, va, false, 0);
+        let d = m.demand_data(0, va, false, 0).unwrap();
         let pa_next = PhysAddr::new(d.paddr.raw() + 64);
         assert!(m.issue_l2_prefetch(0, pa_next, 1_000));
         assert!(m.core(0).l2c.probe(pa_next.line()));
@@ -888,7 +949,7 @@ mod tests {
     fn prefetch_traffic_never_lands_in_demand_counters() {
         let mut m = sys();
         let trig = VirtAddr::new(0xB000_0000);
-        m.demand_data(0, trig, false, 0);
+        m.demand_data(0, trig, false, 0).unwrap();
         let (l2_da, l2_dm) = {
             let s = &m.core(0).l2c.stats;
             (s.demand_accesses, s.demand_misses)
@@ -903,7 +964,8 @@ mod tests {
                 false,
                 i * 1_000,
                 i % 2 == 0,
-            );
+            )
+            .unwrap();
         }
         let l2 = &m.core(0).l2c.stats;
         assert_eq!(
@@ -940,8 +1002,10 @@ mod tests {
         assert!(m.events_enabled());
 
         let va = VirtAddr::new(0xC000_0000);
-        m.demand_data(0, va, false, 0); // cold: walk + demand fill
-        let r = m.issue_prefetch(0, va.offset(4096), true, 1_000, true);
+        m.demand_data(0, va, false, 0).unwrap(); // cold: walk + demand fill
+        let r = m
+            .issue_prefetch(0, va.offset(4096), true, 1_000, true)
+            .unwrap();
         assert!(r.issued && r.walked);
 
         let ring = m.take_events().expect("ring attached");
@@ -985,14 +1049,14 @@ mod tests {
     fn store_miss_write_allocates_dirty() {
         let mut m = sys();
         let va = VirtAddr::new(0xA000_0000);
-        m.demand_data(0, va, true, 0);
+        m.demand_data(0, va, true, 0).unwrap();
         // Evicting it later produces a writeback; force evictions by filling
         // the set: lines mapping to the same set are 64 sets * 64B apart.
         let mut wb_before = m.core(0).l1d.stats.writebacks;
         assert_eq!(wb_before, 0);
         for i in 1..=12u64 {
             let conflict = VirtAddr::new(0xA000_0000 + i * 64 * 64);
-            m.demand_data(0, conflict, false, i * 3_000);
+            m.demand_data(0, conflict, false, i * 3_000).unwrap();
         }
         wb_before = m.core(0).l1d.stats.writebacks;
         assert!(wb_before >= 1, "dirty block eventually written back");

@@ -198,6 +198,39 @@ impl Tlb {
     pub fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.valid).count()
     }
+
+    /// Invalidates the entry for `vpn` at `size` (a shootdown of a single
+    /// page). Returns whether an entry was dropped.
+    pub fn invalidate_page(&mut self, vpn: u64, size: PageSize) -> bool {
+        let range = self.set_range(vpn);
+        for e in &mut self.entries[range] {
+            if e.valid && e.size == size && e.vpn == vpn {
+                e.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates every entry covering the aligned 2 MB region `vpn2m`:
+    /// the 2 MB entry itself and all 4 KB entries inside it (a shootdown
+    /// after THP promotion/demotion). Returns the number of entries dropped.
+    pub fn invalidate_region(&mut self, vpn2m: u64) -> u32 {
+        let mut dropped = 0;
+        for e in &mut self.entries {
+            let hit = match e.size {
+                PageSize::Base4K => {
+                    e.vpn >> (PageSize::Huge2M.shift() - PageSize::Base4K.shift()) == vpn2m
+                }
+                PageSize::Huge2M => e.vpn == vpn2m,
+            };
+            if e.valid && hit {
+                e.valid = false;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +339,39 @@ mod tests {
         t.fill(map4k(1, 2), false);
         assert_eq!(t.occupancy(), 1);
         assert_eq!(t.lookup(VirtAddr::new(0x1000)).unwrap().pfn, 2);
+    }
+
+    #[test]
+    fn invalidate_page_drops_only_the_match() {
+        let mut t = tiny();
+        t.fill(map4k(5, 99), false);
+        t.fill(map4k(6, 98), false);
+        assert!(t.invalidate_page(5, PageSize::Base4K));
+        assert!(!t.invalidate_page(5, PageSize::Base4K), "already gone");
+        assert!(!t.peek(VirtAddr::new(5 << 12)));
+        assert!(t.peek(VirtAddr::new(6 << 12)));
+    }
+
+    #[test]
+    fn invalidate_region_drops_both_granularities() {
+        let mut t = tiny();
+        // Two 4K pages inside region 2, the huge entry for region 2, and a
+        // 4K page outside it.
+        t.fill(map4k((2 << 9) + 3, 1), false);
+        t.fill(map4k((2 << 9) + 7, 2), false);
+        t.fill(
+            Translation {
+                vpn: 2,
+                pfn: 11,
+                size: PageSize::Huge2M,
+            },
+            false,
+        );
+        t.fill(map4k(1, 3), false);
+        assert_eq!(t.invalidate_region(2), 3);
+        assert!(!t.peek(VirtAddr::new(((2u64 << 9) + 3) << 12)));
+        assert!(!t.peek(VirtAddr::new(2u64 << 21)));
+        assert!(t.peek(VirtAddr::new(1 << 12)));
     }
 
     #[test]

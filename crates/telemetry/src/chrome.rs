@@ -62,6 +62,17 @@ fn push_args(out: &mut String, event: &TraceEvent) {
                 None => out.push_str(",\"threshold\":null}"),
             }
         }
+        TraceEvent::Os {
+            op,
+            va_page,
+            cycles,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"op\":\"{}\",\"va_page\":{va_page},\"cycles\":{cycles}}}",
+                op.label()
+            );
+        }
     }
 }
 
@@ -89,6 +100,7 @@ pub fn chrome_trace_json(events: &[TimedEvent]) -> String {
             _ => {
                 let cat = match e.event {
                     TraceEvent::Decision { .. } => "policy",
+                    TraceEvent::Os { .. } => "os",
                     _ => "cache",
                 };
                 let _ = write!(
@@ -160,6 +172,25 @@ mod tests {
         assert_eq!(json.matches("\"s\":\"t\"").count(), 2);
         assert!(json.contains("\"threshold\":-2"));
         assert!(json.contains("\"cat\":\"policy\""));
+    }
+
+    #[test]
+    fn os_events_are_instants_in_their_own_category() {
+        let events = [TimedEvent {
+            cycle: 77,
+            core: 1,
+            event: TraceEvent::Os {
+                op: pagecross_types::OsOp::Promote,
+                va_page: 0x99,
+                cycles: 2_000,
+            },
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"name\":\"os\""));
+        assert!(json.contains("\"cat\":\"os\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"op\":\"promote\""));
+        assert!(json.contains("\"cycles\":2000"));
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub use counter::SatCounter;
 pub use request::{AccessKind, Decision, PageSize, PrefetchCandidate, TranslationOutcome};
 pub use rng::Rng64;
 pub use snapshot::{SystemSnapshot, WindowCounters};
-pub use stats::{geomean, CacheStats, CoreStats, PrefetchStats, TlbStats, WalkStats};
+pub use stats::{geomean, CacheStats, CoreStats, OsStats, PrefetchStats, TlbStats, WalkStats};
 pub use telemetry::{
-    IntervalRecord, PolicyTelemetry, StallBreakdown, StallCause, TelemetryCounters, TimedEvent,
-    TraceEvent,
+    IntervalRecord, OsOp, PolicyTelemetry, StallBreakdown, StallCause, TelemetryCounters,
+    TimedEvent, TraceEvent,
 };

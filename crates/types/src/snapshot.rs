@@ -35,6 +35,14 @@ pub struct WindowCounters {
     pub pgc_useful: u64,
     /// Useless page-cross prefetches.
     pub pgc_useless: u64,
+    /// OS page faults (minor + major) serviced for this core.
+    pub os_faults: u64,
+    /// Frames reclaimed by the OS CLOCK sweep for this core's faults.
+    pub os_reclaims: u64,
+    /// 2 MB regions the THP daemon promoted on this core's touches.
+    pub os_promotions: u64,
+    /// TLB shootdown broadcasts triggered by this core.
+    pub os_shootdowns: u64,
 }
 
 /// A windowed summary of the system state, in the units the paper uses.
@@ -69,6 +77,14 @@ pub struct SystemSnapshot {
     pub pgc_useful: u64,
     /// Useless page-cross prefetches observed this epoch.
     pub pgc_useless: u64,
+    /// OS page faults (minor + major) in the window (0 with the OS off).
+    pub os_faults: u64,
+    /// OS frame reclaims in the window.
+    pub os_reclaims: u64,
+    /// THP promotions in the window.
+    pub os_promotions: u64,
+    /// TLB shootdown broadcasts in the window.
+    pub os_shootdowns: u64,
 }
 
 impl SystemSnapshot {
@@ -111,6 +127,10 @@ impl SystemSnapshot {
             inflight_l1d_misses,
             pgc_useful: now.pgc_useful - b.pgc_useful,
             pgc_useless: now.pgc_useless - b.pgc_useless,
+            os_faults: now.os_faults - b.os_faults,
+            os_reclaims: now.os_reclaims - b.os_reclaims,
+            os_promotions: now.os_promotions - b.os_promotions,
+            os_shootdowns: now.os_shootdowns - b.os_shootdowns,
         }
     }
 
@@ -175,6 +195,7 @@ mod tests {
             stlb_miss: 25,
             pgc_useful: 8,
             pgc_useless: 2,
+            ..Default::default()
         };
         let w2 = WindowCounters {
             instructions: 4_000,
@@ -188,6 +209,7 @@ mod tests {
             stlb_miss: 27,
             pgc_useful: 20,
             pgc_useless: 5,
+            ..Default::default()
         };
 
         // First window: [w0, w1).

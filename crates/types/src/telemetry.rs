@@ -28,18 +28,23 @@ pub enum StallCause {
     BranchRedirect,
     /// Front-end waiting on instruction fetch (L1I miss exposure).
     FetchStarved,
+    /// OS memory-management work on the access path: page-fault handling
+    /// (minor or major), frame reclamation, THP migration, and TLB
+    /// shootdown IPIs charged to the faulting/receiving core.
+    OsFault,
     /// Tail slots between the final dispatch and the last completion.
     Drain,
 }
 
 impl StallCause {
     /// Every cause, in reporting order.
-    pub const ALL: [StallCause; 6] = [
+    pub const ALL: [StallCause; 7] = [
         StallCause::RobFull,
         StallCause::L1dMiss,
         StallCause::TlbWalk,
         StallCause::BranchRedirect,
         StallCause::FetchStarved,
+        StallCause::OsFault,
         StallCause::Drain,
     ];
 
@@ -51,6 +56,7 @@ impl StallCause {
             StallCause::TlbWalk => "tlb_walk",
             StallCause::BranchRedirect => "branch_redirect",
             StallCause::FetchStarved => "fetch_starved",
+            StallCause::OsFault => "os_fault",
             StallCause::Drain => "drain",
         }
     }
@@ -84,6 +90,9 @@ pub struct StallBreakdown {
     pub branch_redirect: u64,
     /// Slots lost waiting on instruction fetch.
     pub fetch_starved: u64,
+    /// Slots lost to OS memory-management work (faults, reclaim,
+    /// THP migration, shootdown IPIs).
+    pub os_fault: u64,
     /// Slots in the drain tail after the last dispatch.
     pub drain: u64,
     /// Boundary-cycle slots consumed by warm-up instructions.
@@ -99,6 +108,7 @@ impl StallBreakdown {
             StallCause::TlbWalk => self.tlb_walk += slots,
             StallCause::BranchRedirect => self.branch_redirect += slots,
             StallCause::FetchStarved => self.fetch_starved += slots,
+            StallCause::OsFault => self.os_fault += slots,
             StallCause::Drain => self.drain += slots,
         }
     }
@@ -111,6 +121,7 @@ impl StallBreakdown {
             StallCause::TlbWalk => self.tlb_walk,
             StallCause::BranchRedirect => self.branch_redirect,
             StallCause::FetchStarved => self.fetch_starved,
+            StallCause::OsFault => self.os_fault,
             StallCause::Drain => self.drain,
         }
     }
@@ -133,8 +144,8 @@ impl StallBreakdown {
     }
 
     /// `(label, slots)` pairs in reporting order.
-    pub fn entries(&self) -> [(&'static str, u64); 6] {
-        let mut out = [("", 0u64); 6];
+    pub fn entries(&self) -> [(&'static str, u64); 7] {
+        let mut out = [("", 0u64); 7];
         for (slot, cause) in out.iter_mut().zip(StallCause::ALL) {
             *slot = (cause.label(), self.get(cause));
         }
@@ -167,7 +178,12 @@ macro_rules! for_each_telemetry_counter {
             prefetch_useless,
             pgc_useful,
             pgc_useless,
-            branch_mispredicts
+            branch_mispredicts,
+            os_minor_faults,
+            os_major_faults,
+            os_reclaims,
+            os_promotions,
+            os_shootdowns
         );
     };
 }
@@ -322,10 +338,51 @@ pub enum TraceEvent {
         /// Activation threshold at decision time (filter policies only).
         threshold: Option<i32>,
     },
+    /// An OS memory-management event (only emitted with the OS layer on).
+    Os {
+        /// What the OS did.
+        op: OsOp,
+        /// The 4 KB virtual page (faults/reclaims) or the first 4 KB page
+        /// of the 2 MB region (promotions/demotions/region shootdowns).
+        va_page: u64,
+        /// Handler cycles charged to the triggering core.
+        cycles: u64,
+    },
+}
+
+/// The OS memory-management operations the event ring distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OsOp {
+    /// First touch of a never-mapped page.
+    MinorFault,
+    /// Touch of a page evicted by reclamation (swap-in).
+    MajorFault,
+    /// CLOCK reclaim of a resident frame.
+    Reclaim,
+    /// THP daemon promoted an aligned 2 MB region.
+    Promote,
+    /// THP daemon split a 2 MB region back to 4 KB pages.
+    Demote,
+    /// TLB shootdown broadcast.
+    Shootdown,
+}
+
+impl OsOp {
+    /// Stable label for exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            OsOp::MinorFault => "minor_fault",
+            OsOp::MajorFault => "major_fault",
+            OsOp::Reclaim => "reclaim",
+            OsOp::Promote => "promote",
+            OsOp::Demote => "demote",
+            OsOp::Shootdown => "shootdown",
+        }
+    }
 }
 
 /// Registry of event kinds (stable labels for exporters and tools).
-pub const EVENT_KINDS: [&str; 4] = ["fill", "evict", "walk", "decision"];
+pub const EVENT_KINDS: [&str; 5] = ["fill", "evict", "walk", "decision", "os"];
 
 impl TraceEvent {
     /// Stable kind label (an entry of [`EVENT_KINDS`]).
@@ -335,6 +392,7 @@ impl TraceEvent {
             TraceEvent::Evict { .. } => EVENT_KINDS[1],
             TraceEvent::Walk { .. } => EVENT_KINDS[2],
             TraceEvent::Decision { .. } => EVENT_KINDS[3],
+            TraceEvent::Os { .. } => EVENT_KINDS[4],
         }
     }
 }

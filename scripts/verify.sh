@@ -74,4 +74,35 @@ if ! diff -u "$SCRATCH/direct.txt" <(grep -v '^telemetry\|^trace ' "$SCRATCH/tel
     exit 1
 fi
 
+echo "== verify: OS model smoke (faults + shootdowns live, OS-off inert) =="
+# A 64 MB machine with thp=0.5 must demand-page (minor faults) and issue
+# TLB shootdowns, and its JSONL stream (now carrying d_os_* deltas) must
+# still satisfy the re-summing checker.
+"$PAGECROSS" run --workload gap.s00 --warmup 5000 --instructions 20000 \
+    --os on --phys-mem 64M --thp 0.5 \
+    --telemetry-out "$SCRATCH/os.jsonl" --telemetry-interval 10000 \
+    > "$SCRATCH/os-run.txt"
+"$PAGECROSS" check-telemetry --jsonl "$SCRATCH/os.jsonl"
+OS_MINOR=$(awk '/^os /{print $3}' "$SCRATCH/os-run.txt")
+OS_SHOOTDOWNS=$(awk '/^os /{print $13}' "$SCRATCH/os-run.txt")
+if [ -z "$OS_MINOR" ] || [ "$OS_MINOR" -eq 0 ] || [ "$OS_SHOOTDOWNS" -eq 0 ]; then
+    echo "verify: FAIL — OS run expected nonzero faults and shootdowns," \
+         "got minor=${OS_MINOR:-missing} shootdowns=${OS_SHOOTDOWNS:-missing}" >&2
+    exit 1
+fi
+# OS off (the default) must be byte-identical to not passing the flag at
+# all: the model is strictly opt-in.
+"$PAGECROSS" run --workload gap.s00 --warmup 5000 --instructions 20000 \
+    > "$SCRATCH/no-os.txt"
+"$PAGECROSS" run --workload gap.s00 --warmup 5000 --instructions 20000 \
+    --os off > "$SCRATCH/os-off.txt"
+if ! diff -u "$SCRATCH/no-os.txt" "$SCRATCH/os-off.txt"; then
+    echo "verify: FAIL — '--os off' output differs from the default" >&2
+    exit 1
+fi
+if grep -q '^os ' "$SCRATCH/no-os.txt"; then
+    echo "verify: FAIL — OS-disabled report printed an os counter line" >&2
+    exit 1
+fi
+
 echo "== verify: OK =="

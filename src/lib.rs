@@ -29,6 +29,7 @@
 pub use moka_pgc as moka;
 pub use pagecross_cpu as cpu;
 pub use pagecross_mem as mem;
+pub use pagecross_os as os;
 pub use pagecross_prefetch as prefetch;
 pub use pagecross_telemetry as telemetry;
 pub use pagecross_trace as trace;

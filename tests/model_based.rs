@@ -340,7 +340,7 @@ fn walker_matches_flat_reference_map() {
             for &raw in vas {
                 let va = VirtAddr::new(raw);
                 let vpn = raw >> 12;
-                let plan = w.walk(va, &mut vm, &mut fa);
+                let plan = w.walk(va, &mut vm, &mut fa).expect("4GB pool cannot OOM");
                 prop_assert!((1..=5).contains(&plan.refs.len()));
                 prop_assert_eq!(
                     plan.translation.vpn,

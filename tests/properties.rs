@@ -227,9 +227,12 @@ fn walker_invariants() {
             let pt_region_base = (4u64 << 30) - (4u64 << 30) / 8;
             for &raw in vas {
                 let va = VirtAddr::new(raw);
-                let plan = w.walk(va, &mut vm, &mut fa);
+                let plan = w.walk(va, &mut vm, &mut fa).expect("4GB pool cannot OOM");
                 prop_assert!((1..=5).contains(&plan.refs.len()));
-                prop_assert_eq!(plan.translation, vm.translate(va, &mut fa));
+                prop_assert_eq!(
+                    plan.translation,
+                    vm.translate(va, &mut fa).expect("4GB pool cannot OOM")
+                );
                 for pte in &plan.refs {
                     prop_assert!(pte.raw() >= pt_region_base, "PTE {pte:?} outside PT region");
                 }
@@ -252,7 +255,7 @@ fn vmem_is_functional() {
             let mut seen = std::collections::HashMap::new();
             for &p in pages {
                 let va = VirtAddr::new(p << 12);
-                let t = vm.translate(va, &mut fa);
+                let t = vm.translate(va, &mut fa).expect("4GB pool cannot OOM");
                 let prev = seen.insert(p, t.pfn);
                 if let Some(prev_pfn) = prev {
                     prop_assert_eq!(prev_pfn, t.pfn, "mapping must be stable");
@@ -334,4 +337,162 @@ fn simulation_invariants_over_random_params() {
             assert!(r.stlb.misses <= r.stlb.accesses);
         }
     }
+}
+
+/// The three physical regions (4 KB pool, 2 MB pool, page-table nodes)
+/// never hand out overlapping frames, for any interleaving of allocation
+/// kinds across mix cores. A 2 MB frame covers 512 consecutive 4 KB frame
+/// numbers; none of them may coincide with a pool 4 KB frame or another
+/// huge frame, and PT nodes live in their own top-of-memory region.
+#[test]
+fn physical_regions_never_collide_across_cores() {
+    check(
+        &Config::cases(32),
+        |rng| {
+            let cores = rng.range(1, 4) as u32;
+            let ops = vec_of(rng, 1, 300, |r| (r.below(4) as u8, r.next_u64()));
+            (rng.next_u64(), cores, ops)
+        },
+        |(seed, cores, ops)| {
+            let cores = (*cores).max(1); // shrink-proof: the allocator needs a core
+            let cap = 4u64 << 30;
+            let mut fa = FrameAllocator::with_cores(cap, *seed, cores);
+            let huge_base = fa.huge_region_base();
+            let pt_base = fa.pt_region_base();
+            let mut taken_4k = std::collections::HashSet::new();
+            let mut pt_addrs = std::collections::HashSet::new();
+            for (i, &(kind, salt)) in ops.iter().enumerate() {
+                let core = (salt % cores as u64) as u32;
+                match kind {
+                    0 | 1 => {
+                        let pfn = fa.alloc_4k(core).expect("4GB pool cannot OOM");
+                        prop_assert!(pfn < huge_base, "4K pfn {pfn} in huge/PT region");
+                        prop_assert!(taken_4k.insert(pfn), "4K pfn {pfn} reused (op {i})");
+                    }
+                    2 => {
+                        let pfn2m = fa.alloc_2m(core).expect("4GB pool cannot OOM");
+                        for sub in 0..512u64 {
+                            let pfn = (pfn2m << 9) + sub;
+                            prop_assert!(
+                                pfn >= huge_base && pfn < pt_base,
+                                "2M sub-pfn {pfn} outside huge region"
+                            );
+                            prop_assert!(
+                                taken_4k.insert(pfn),
+                                "2M frame {pfn2m} collides at sub-pfn {pfn}"
+                            );
+                        }
+                    }
+                    _ => {
+                        let pfn = fa.alloc_pt_node(core);
+                        prop_assert!(pfn >= pt_base, "PT node {pfn} below PT region");
+                        prop_assert!(pfn < cap >> 12, "PT node {pfn} beyond capacity");
+                        prop_assert!(pt_addrs.insert(pfn), "PT node {pfn} reused");
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Per-core address spaces are deterministic functions of (seed, core):
+/// the final VPN→PFN mapping of every core is bit-identical no matter how
+/// the cores' first touches interleave globally (mix simulations rely on
+/// this for worker-count-independent results).
+#[test]
+fn mix_core_mappings_are_interleaving_independent() {
+    check(
+        &Config::cases(24),
+        |rng| {
+            let cores = rng.range(2, 4) as u32;
+            let touches = vec_of(rng, 10, 120, |r| r.below(u64::MAX));
+            (rng.next_u64(), cores, touches)
+        },
+        |(seed, cores, touches)| {
+            let cores = (*cores).max(1); // shrink-proof: at least one core
+                                         // Each raw value encodes (core, vpn). Each core's own program
+                                         // order is fixed (that is its instruction stream); only the
+                                         // cross-core interleaving may vary.
+            let per_core: Vec<Vec<u64>> = (0..cores)
+                .map(|c| {
+                    touches
+                        .iter()
+                        .filter(|&&raw| (raw % cores as u64) as u32 == c)
+                        .map(|&raw| (raw >> 32) % 50_000)
+                        .collect()
+                })
+                .collect();
+            let run = |schedule: &dyn Fn(usize, usize) -> usize| {
+                let mut fa = FrameAllocator::with_cores(4u64 << 30, *seed, cores);
+                let mut vms: Vec<Vmem> = (0..cores)
+                    .map(|c| Vmem::for_core(HugePagePolicy::Fraction(0.3), *seed, c))
+                    .collect();
+                let mut final_map = std::collections::BTreeMap::new();
+                // Visit every (core, position) pair exactly once, in the
+                // order the schedule dictates.
+                let mut pairs: Vec<(usize, usize)> = per_core
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(c, v)| (0..v.len()).map(move |i| (c, i)))
+                    .collect();
+                pairs.sort_by_key(|&(c, i)| schedule(c, i));
+                for (c, i) in pairs {
+                    let vpn = per_core[c][i];
+                    let t = vms[c]
+                        .translate(VirtAddr::new(vpn << 12), &mut fa)
+                        .expect("4GB pool cannot OOM");
+                    final_map.insert((c, vpn), (t.vpn, t.pfn, t.size));
+                }
+                final_map
+            };
+            // Round-robin across cores vs. core-0-first, core-1-next, …:
+            // both preserve each core's program order.
+            let round_robin = run(&|c: usize, i: usize| i * 64 + c);
+            let sequential = run(&|c: usize, i: usize| c * 1_000_000 + i);
+            prop_assert_eq!(
+                round_robin,
+                sequential,
+                "per-core mappings must not depend on the cross-core interleaving"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// `HugePagePolicy::Fraction` decides promotion per 2 MB region as a pure
+/// function of (seed, region) — never of first-touch order (regression:
+/// an order-dependent RNG stream here would break campaign determinism).
+#[test]
+fn fraction_promotion_depends_only_on_seed_and_region() {
+    check(
+        &Config::cases(32),
+        |rng| {
+            let regions = vec_of(rng, 5, 60, |r| r.below(10_000));
+            (rng.next_u64(), regions)
+        },
+        |(seed, regions)| {
+            let sizes_in = |order: &[u64]| {
+                let mut fa = FrameAllocator::new(4u64 << 30, *seed);
+                let mut vm = Vmem::new(HugePagePolicy::Fraction(0.5), *seed);
+                let mut sizes = std::collections::BTreeMap::new();
+                for &region in order {
+                    // Touch an arbitrary 4K page inside the 2MB region.
+                    let va = VirtAddr::new((region << 21) | ((region % 512) << 12));
+                    let t = vm.translate(va, &mut fa).expect("4GB pool cannot OOM");
+                    sizes.insert(region, t.size);
+                }
+                sizes
+            };
+            let forward = sizes_in(regions);
+            let mut reversed: Vec<u64> = regions.clone();
+            reversed.reverse();
+            prop_assert_eq!(
+                forward,
+                sizes_in(&reversed),
+                "promotion decisions must ignore first-touch order"
+            );
+            Ok(())
+        },
+    );
 }

@@ -14,7 +14,8 @@ use pagecross::workloads::{suite, SuiteId};
 fn l1i_prefetch_path_fills_without_walking() {
     let mut mem = MemorySystem::new(MemConfig::table_iv(1), 1, HugePagePolicy::None, 3);
     // Warm a code page so its translation is resident.
-    mem.fetch_instr(0, VirtAddr::new(0x40_0000), 0);
+    mem.fetch_instr(0, VirtAddr::new(0x40_0000), 0)
+        .expect("4GB pool cannot OOM");
     let walks_before = mem.core(0).walk_stats.demand_walks;
     // Prefetch the next line on the same page: no walk allowed or needed.
     assert!(mem.issue_l1i_prefetch(0, VirtAddr::new(0x40_0040), 100));
@@ -24,7 +25,9 @@ fn l1i_prefetch_path_fills_without_walking() {
     assert!(!mem.issue_l1i_prefetch(0, VirtAddr::new(0x9999_0000), 200));
     assert_eq!(mem.core(0).walk_stats.prefetch_walks, 0);
     // The prefetched line now hits.
-    let f = mem.fetch_instr(0, VirtAddr::new(0x40_0040), 10_000);
+    let f = mem
+        .fetch_instr(0, VirtAddr::new(0x40_0040), 10_000)
+        .expect("4GB pool cannot OOM");
     assert!(f.l1i_hit);
 }
 

@@ -5,7 +5,7 @@
 
 use pagecross::cpu::trace::TraceFactory;
 use pagecross::cpu::{
-    CoreConfig, PgcPolicyKind, PrefetcherKind, SimulationBuilder, TelemetryConfig,
+    CoreConfig, OsConfig, PgcPolicyKind, PrefetcherKind, SimulationBuilder, TelemetryConfig,
 };
 use pagecross::telemetry::{chrome_trace_json, interval_to_json, validate_jsonl};
 use pagecross::workloads::{suite, SuiteId, Workload};
@@ -135,7 +135,53 @@ fn jsonl_deltas_reconcile_with_final_report() {
             t.branch_mispredicts, r.core.branch_mispredicts,
             "{tag}: mispredicts"
         );
+        assert_eq!(t.os_minor_faults, r.os.minor_faults, "{tag}: os minor");
+        assert_eq!(t.os_major_faults, r.os.major_faults, "{tag}: os major");
+        assert_eq!(t.os_reclaims, r.os.reclaims, "{tag}: os reclaims");
+        assert_eq!(t.os_promotions, r.os.thp_promotions, "{tag}: os promote");
+        assert_eq!(t.os_shootdowns, r.os.shootdowns, "{tag}: os shootdowns");
     }
+}
+
+/// With the OS model enabled the same telescoping holds, the OS counters
+/// are live (nonzero faults under a 64 MB budget), and the stall
+/// accounting stays exact with the new `OsFault` cause in play.
+#[test]
+fn jsonl_deltas_reconcile_with_os_model_enabled() {
+    let case = &CASES[0]; // gap.s00 touches plenty of cold pages.
+    let w = workload(case);
+    let cfg = TelemetryConfig {
+        interval: 2_000,
+        ..TelemetryConfig::default()
+    };
+    let os = OsConfig {
+        phys_mem_bytes: 64 << 20,
+        thp: 0.5,
+        ..OsConfig::default()
+    };
+    let (r, telemetry) = builder(case).os(os).run_workload_with_telemetry(w, &cfg);
+    assert!(r.os.minor_faults > 0, "64 MB run must fault pages in");
+    assert!(r.core.stalls.os_fault > 0, "faults must cost issue slots");
+    let width = CoreConfig::default().issue_width;
+    assert!(
+        r.core
+            .stalls
+            .balances(r.core.instructions, r.core.cycles, width),
+        "OS faults broke the exact stall-slot sum"
+    );
+
+    let mut text = String::new();
+    for rec in &telemetry.intervals {
+        text.push_str(&interval_to_json(rec));
+        text.push('\n');
+    }
+    let s = validate_jsonl(&text).expect("OS-on stream must stay schema-valid");
+    let t = &s.totals;
+    assert_eq!(t.os_minor_faults, r.os.minor_faults, "os minor");
+    assert_eq!(t.os_major_faults, r.os.major_faults, "os major");
+    assert_eq!(t.os_reclaims, r.os.reclaims, "os reclaims");
+    assert_eq!(t.os_promotions, r.os.thp_promotions, "os promote");
+    assert_eq!(t.os_shootdowns, r.os.shootdowns, "os shootdowns");
 }
 
 /// The Chrome trace export is structurally sound and carries the expected
